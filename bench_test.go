@@ -1,0 +1,175 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per figure; DESIGN.md maps ids to sections). Each iteration
+// runs the scaled experiment end to end on the packet-level emulator; the
+// reported ns/op is the wall cost of regenerating that figure. Use
+// cmd/mpccbench for readable tables and paper-scale sweeps.
+package mpcc_test
+
+import (
+	"testing"
+
+	"mpcc"
+	"mpcc/internal/exp"
+	"mpcc/internal/sim"
+	"mpcc/internal/topo"
+)
+
+// benchCfg is deliberately small so the full bench suite completes quickly;
+// EXPERIMENTS.md records results from the longer default configuration.
+func benchCfg() exp.Config {
+	return exp.Config{Duration: 8 * sim.Second, Warmup: 3 * sim.Second, Reps: 1, Seed: 42}
+}
+
+func runExp(b *testing.B, id string, cfg exp.Config) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tabs, err := exp.RunByID(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tabs) == 0 || len(tabs[0].Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig2GradientField(b *testing.B)    { runExp(b, "fig2", benchCfg()) }
+func BenchmarkFig5aShallowBufferMP(b *testing.B) { runExp(b, "fig5a", benchCfg()) }
+func BenchmarkFig5bShallowBufferSP(b *testing.B) { runExp(b, "fig5b", benchCfg()) }
+func BenchmarkFig6aRandomLossMP(b *testing.B)    { runExp(b, "fig6a", benchCfg()) }
+func BenchmarkFig6bRandomLossSP(b *testing.B)    { runExp(b, "fig6b", benchCfg()) }
+
+func BenchmarkFig7ChangingConditions(b *testing.B) {
+	cfg := benchCfg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := exp.ChangingConditions(cfg, 4, 3*sim.Second)
+		if len(r.Epochs) != 4 {
+			b.Fatal("bad epochs")
+		}
+		_ = r.Fig7Table()
+	}
+}
+
+func BenchmarkFig8ChangingConditionsSP(b *testing.B) {
+	cfg := benchCfg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := exp.ChangingConditions(cfg, 4, 3*sim.Second)
+		_ = r.Fig8Table()
+	}
+}
+
+func BenchmarkFig9SelfInducedLatency(b *testing.B) { runExp(b, "fig9", benchCfg()) }
+func BenchmarkFig10aFairness(b *testing.B)         { runExp(b, "fig10", benchCfg()) }
+
+func BenchmarkFig10bUtilization(b *testing.B) {
+	cfg := benchCfg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, util := exp.ConvergenceSuite(cfg)
+		if len(util.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig11Convergence(b *testing.B) { runExp(b, "fig11", benchCfg()) }
+func BenchmarkFig12CubicBuffer(b *testing.B) { runExp(b, "fig12", benchCfg()) }
+func BenchmarkFig13CubicLoss(b *testing.B)   { runExp(b, "fig13", benchCfg()) }
+
+func BenchmarkFig14ParameterGrid3c(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Duration = 5 * sim.Second
+	cfg.Warmup = 2 * sim.Second
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := exp.ParameterGrid(cfg, topo.Fig3c, 72) // 8 of 576 pairs per iteration
+		if g.Configs == 0 {
+			b.Fatal("no configs")
+		}
+	}
+}
+
+func BenchmarkFig15ParameterGrid3d(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Duration = 5 * sim.Second
+	cfg.Warmup = 2 * sim.Second
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := exp.ParameterGrid(cfg, topo.Fig3d, 72)
+		if g.Configs == 0 {
+			b.Fatal("no configs")
+		}
+	}
+}
+
+func BenchmarkFig16LiveDownloads(b *testing.B) {
+	// One representative pair per home rather than the full 6×3 matrix.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, home := range topo.Homes {
+			secs := exp.BenchDownload(int64(i+1), "Tokyo", home, exp.MPCCLatency, 10_000_000)
+			if secs <= 0 {
+				b.Fatal("download failed")
+			}
+		}
+	}
+}
+
+func BenchmarkFig17NormalizedGain(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mp := exp.BenchDownload(1, "SaoPaulo", "Israel", exp.MPCCLatency, 10_000_000)
+		lia := exp.BenchDownload(1, "SaoPaulo", "Israel", exp.LIA, 10_000_000)
+		if !(mp > 0 && lia > 0) {
+			b.Fatal("download failed")
+		}
+	}
+}
+
+func BenchmarkFig19DataCenterFCT(b *testing.B) {
+	dc := exp.DCConfig{
+		LongFlows: 1, LongBytes: 5_000_000,
+		MedFlows: 2, MedBytes: 500_000,
+		ShortEvery: 500 * sim.Millisecond, ShortBytes: 10_000, ShortFor: sim.Second,
+		Duration: 3 * sim.Second, SubflowsPer: 3,
+	}
+	cfg := benchCfg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := exp.DataCenterFCT(cfg, dc)
+		if len(r) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkSchedulerValidation(b *testing.B) { runExp(b, "sched", benchCfg()) }
+
+// Ablation benches for the design choices DESIGN.md calls out.
+func BenchmarkAblationConnLevel(b *testing.B)          { runExp(b, "ablation-connlevel", benchCfg()) }
+func BenchmarkAblationOmegaBase(b *testing.B)          { runExp(b, "ablation-omega", benchCfg()) }
+func BenchmarkAblationNoPublication(b *testing.B)      { runExp(b, "ablation-publication", benchCfg()) }
+func BenchmarkAblationSchedulerThreshold(b *testing.B) { runExp(b, "ablation-threshold", benchCfg()) }
+
+// BenchmarkEmulatorThroughput measures raw simulator speed: events per
+// second for a saturated MPCC₂ run (useful when sizing paper-scale sweeps).
+func BenchmarkEmulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		eng := mpcc.NewEngine(int64(i))
+		net := mpcc.NewNetwork(eng)
+		net.AddLink("l1", 100e6, 30*mpcc.Millisecond, 375_000)
+		net.AddLink("l2", 100e6, 30*mpcc.Millisecond, 375_000)
+		conn := mpcc.NewConnection(eng, "bench", mpcc.MPCCLoss,
+			[]*mpcc.Path{net.Path("l1"), net.Path("l2")}, mpcc.AttachOptions{})
+		conn.SetApp(mpcc.Bulk{}, nil)
+		conn.Start(0)
+		eng.Run(5 * mpcc.Second)
+		events += eng.Processed
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}

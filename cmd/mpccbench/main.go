@@ -1,0 +1,90 @@
+// Command mpccbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mpccbench -list
+//	mpccbench -exp fig5a [-dur 20s] [-warmup 8s] [-reps 3] [-seed 42] [-full]
+//	mpccbench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"mpcc/internal/exp"
+	"mpcc/internal/sim"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		id     = flag.String("exp", "", "experiment id (or \"all\")")
+		dur    = flag.Duration("dur", 20*time.Second, "virtual run duration")
+		warmup = flag.Duration("warmup", 8*time.Second, "warmup omitted from averages")
+		reps   = flag.Int("reps", 1, "repetitions to average")
+		seed   = flag.Int64("seed", 42, "base random seed")
+		full   = flag.Bool("full", false, "paper-scale sweeps (576-config grids, 75 MB downloads)")
+		csvdir = flag.String("csvdir", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list || *id == "" {
+		fmt.Println("experiments:")
+		reg := exp.Registry()
+		sort.Slice(reg, func(i, j int) bool { return reg[i].ID < reg[j].ID })
+		for _, e := range reg {
+			fmt.Printf("  %-22s %s\n", e.ID, e.Desc)
+		}
+		if *id == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := exp.Config{
+		Duration: sim.FromDuration(*dur),
+		Warmup:   sim.FromDuration(*warmup),
+		Reps:     *reps,
+		Seed:     *seed,
+		Full:     *full,
+	}
+
+	run := func(e exp.Experiment) {
+		start := time.Now()
+		for i, t := range e.Run(cfg) {
+			t.Fprint(os.Stdout)
+			fmt.Println()
+			if *csvdir != "" {
+				name := filepath.Join(*csvdir, fmt.Sprintf("%s_%d.csv", e.ID, i))
+				f, err := os.Create(name)
+				if err == nil {
+					err = t.WriteCSV(f)
+					f.Close()
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "csv %s: %v\n", name, err)
+				}
+			}
+		}
+		fmt.Printf("[%s: %.1fs wall]\n\n", e.ID, time.Since(start).Seconds())
+	}
+
+	if *id == "all" {
+		for _, e := range exp.Registry() {
+			run(e)
+		}
+		return
+	}
+	for _, e := range exp.Registry() {
+		if e.ID == *id {
+			run(e)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *id)
+	os.Exit(2)
+}

@@ -1,0 +1,67 @@
+// Command mpccgrad emits the Fig. 2 utility-gradient vector field as CSV
+// (default) or a coarse ASCII quiver, for plotting the convergence dynamics
+// of an MPCC₂ connection against a single-path PCC on a shared link.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mpcc/internal/analytic"
+	ccmpcc "mpcc/internal/cc/mpcc"
+)
+
+func main() {
+	var (
+		capMbps = flag.Float64("cap", 100, "shared-link capacity, Mbps")
+		private = flag.Float64("private", 100, "MPCC's private-subflow rate, Mbps")
+		step    = flag.Float64("step", 10, "grid step, Mbps")
+		max     = flag.Float64("max", 120, "grid maximum, Mbps")
+		ascii   = flag.Bool("ascii", false, "render a coarse ASCII quiver instead of CSV")
+	)
+	flag.Parse()
+
+	var grid []float64
+	for v := *step; v <= *max; v += *step {
+		grid = append(grid, v)
+	}
+	pts := analytic.GradientField(ccmpcc.LossParams(), *capMbps, *private, grid)
+
+	if !*ascii {
+		fmt.Println("x_mbps,y_mbps,du_mpcc_dx,du_pcc_dy")
+		for _, p := range pts {
+			fmt.Printf("%.1f,%.1f,%.4f,%.4f\n", p.X, p.Y, p.DX, p.DY)
+		}
+		return
+	}
+	// ASCII quiver: one arrow glyph per grid point, y on the vertical axis.
+	arrows := map[[2]bool]string{
+		{true, true}: "↗", {true, false}: "↘", {false, true}: "↖", {false, false}: "↙",
+	}
+	idx := make(map[[2]float64]string, len(pts))
+	for _, p := range pts {
+		idx[[2]float64{p.X, p.Y}] = arrows[[2]bool{p.DX > 0, p.DY > 0}]
+	}
+	for i := len(grid) - 1; i >= 0; i-- {
+		y := grid[i]
+		fmt.Printf("%5.0f |", y)
+		for _, x := range grid {
+			fmt.Printf(" %s", idx[[2]float64{x, y}])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("      +%s\n       ", repeat("--", len(grid)))
+	for _, x := range grid {
+		_ = x
+		fmt.Print(" x")
+	}
+	fmt.Println("\n(x = MPCC shared-subflow rate →, y = PCC rate ↑; the equilibrium is the top-left corner)")
+}
+
+func repeat(s string, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		out += s
+	}
+	return out
+}

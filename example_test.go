@@ -1,0 +1,37 @@
+package mpcc_test
+
+import (
+	"fmt"
+
+	"mpcc"
+)
+
+// The package-level quick start: an MPCC-latency connection aggregating a
+// WiFi and a cellular interface.
+func Example() {
+	eng := mpcc.NewEngine(42)
+	net := mpcc.NewNetwork(eng)
+	net.AddLink("wifi", 80e6, 15*mpcc.Millisecond, 375_000)
+	net.AddLink("lte", 30e6, 40*mpcc.Millisecond, 750_000)
+
+	conn := mpcc.NewConnection(eng, "dl", mpcc.MPCCLatency,
+		[]*mpcc.Path{net.Path("wifi"), net.Path("lte")}, mpcc.AttachOptions{})
+	conn.SetApp(mpcc.Bulk{}, nil)
+	conn.Start(0)
+	eng.Run(10 * mpcc.Second)
+
+	g := conn.MeanGoodputBps(4*mpcc.Second, 10*mpcc.Second) / 1e6
+	fmt.Printf("aggregates both interfaces: %v\n", g > 80)
+	// Output:
+	// aggregates both interfaces: true
+}
+
+func ExampleLMMF() {
+	alloc, _ := mpcc.LMMF(&mpcc.ParallelLinkNetwork{
+		Capacity: []float64{100, 100},
+		Conns:    [][]int{{0, 1}, {1}}, // topology 3c
+	})
+	fmt.Printf("MP %.0f, SP %.0f\n", alloc.Totals[0], alloc.Totals[1])
+	// Output:
+	// MP 100, SP 100
+}

@@ -1,0 +1,59 @@
+// Trace-driven cellular link: the LTE interface's bandwidth follows a
+// looping synthetic trace (deep fades and recoveries) while WiFi stays
+// stable. Shows MPCC re-apportioning traffic across subflows as conditions
+// change — the Fig. 7 behaviour on a realistic access pattern — against
+// MPTCP-LIA on identical paths.
+package main
+
+import (
+	"fmt"
+
+	"mpcc"
+	"mpcc/internal/netem"
+)
+
+// A 12-second LTE bandwidth trace (Mbps), looped.
+var lteTrace = []struct {
+	atSec float64
+	mbps  float64
+}{
+	{0, 40}, {2, 25}, {4, 8}, {5, 3}, {6, 12}, {8, 35}, {10, 45},
+}
+
+func run(proto mpcc.Protocol) (aggregate, wifiShare float64) {
+	eng := mpcc.NewEngine(5)
+	net := mpcc.NewNetwork(eng)
+	wifi := net.AddLink("wifi", 30e6, 12*mpcc.Millisecond, 256_000)
+	_ = wifi
+	lte := net.AddLink("lte", 40e6, 35*mpcc.Millisecond, 600_000)
+	lte.SetLoss(0.002)
+
+	var points []netem.RatePoint
+	for _, p := range lteTrace {
+		points = append(points, netem.RatePoint{
+			At: mpcc.Time(p.atSec * float64(mpcc.Second)), RateBps: p.mbps * 1e6,
+		})
+	}
+	netem.ScheduleRates(eng, lte, points, 12*mpcc.Second)
+
+	conn := mpcc.NewConnection(eng, string(proto), proto,
+		[]*mpcc.Path{net.Path("wifi"), net.Path("lte")}, mpcc.AttachOptions{})
+	conn.SetApp(mpcc.Bulk{}, nil)
+	conn.Start(0)
+	eng.Run(36 * mpcc.Second) // three trace periods
+
+	from, to := 6*mpcc.Second, 36*mpcc.Second
+	agg := conn.MeanGoodputBps(from, to) / 1e6
+	sfs := conn.Subflows()
+	w := 8 * sfs[0].Goodput().MeanRateSince(from, to) / 1e6
+	return agg, w / agg
+}
+
+func main() {
+	fmt.Println("WiFi 30 Mbps stable + LTE on a fading trace (3→45 Mbps, 12 s loop)")
+	for _, proto := range []mpcc.Protocol{mpcc.MPCCLatency, mpcc.MPCCLoss, mpcc.LIA, mpcc.OLIA} {
+		agg, ws := run(proto)
+		fmt.Printf("  %-13s aggregate %6.1f Mbps  (%.0f%% via WiFi)\n", proto, agg, ws*100)
+	}
+	fmt.Println("\nthe trace averages ≈24 Mbps on LTE; a perfect aggregator would reach ≈54 Mbps")
+}

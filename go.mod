@@ -1,0 +1,3 @@
+module mpcc
+
+go 1.22

@@ -1,0 +1,225 @@
+package coupled
+
+import (
+	"math"
+	"testing"
+
+	"mpcc/internal/cc"
+	"mpcc/internal/sim"
+)
+
+const rtt = 30 * sim.Millisecond
+
+// exitSlowStart drops a controller out of slow start via one loss event.
+func exitSlowStart(w cc.WindowController) {
+	w.OnLossEvent(0)
+}
+
+// ackRTT delivers one RTT worth of ACKs to w.
+func ackRTT(w cc.WindowController, now sim.Time, r sim.Time) {
+	n := int(w.Cwnd())
+	for i := 0; i < n; i++ {
+		w.OnAck(now, r, 1)
+	}
+}
+
+func TestLIASinglePathReducesToReno(t *testing.T) {
+	// With one subflow, α = 1 and the increase is exactly 1/cwnd per ACK.
+	cp := cc.NewCoupler()
+	l := NewLIA(cp)
+	exitSlowStart(l)
+	w := l.Cwnd()
+	ackRTT(l, 0, rtt)
+	if got := l.Cwnd() - w; got < 0.85 || got > 1.1 {
+		t.Fatalf("single-path LIA growth per RTT = %v, want ≈1", got)
+	}
+}
+
+func TestLIACoupledLessAggressiveThanTwoRenos(t *testing.T) {
+	// Two LIA subflows on the same bottleneck (equal RTT) must jointly grow
+	// ≈ like ONE Reno flow, not two (RFC 6356 goal 3).
+	cp := cc.NewCoupler()
+	a, b := NewLIA(cp), NewLIA(cp)
+	exitSlowStart(a)
+	exitSlowStart(b)
+	a.setCwnd(20)
+	b.setCwnd(20)
+	before := cp.TotalCwnd()
+	ackRTT(a, 0, rtt)
+	ackRTT(b, 0, rtt)
+	growth := cp.TotalCwnd() - before
+	if growth > 1.3 {
+		t.Fatalf("coupled growth per RTT = %v, want ≈1 (uncoupled would be 2)", growth)
+	}
+	if growth < 0.3 {
+		t.Fatalf("coupled growth per RTT = %v, too conservative", growth)
+	}
+}
+
+func TestOLIASinglePathReducesToReno(t *testing.T) {
+	cp := cc.NewCoupler()
+	o := NewOLIA(cp)
+	exitSlowStart(o)
+	w := o.Cwnd()
+	ackRTT(o, 0, rtt)
+	if got := o.Cwnd() - w; got < 0.85 || got > 1.1 {
+		t.Fatalf("single-path OLIA growth per RTT = %v, want ≈1", got)
+	}
+}
+
+func TestOLIAAlphaShiftsTowardBestPath(t *testing.T) {
+	cp := cc.NewCoupler()
+	good, bad := NewOLIA(cp), NewOLIA(cp)
+	exitSlowStart(good)
+	exitSlowStart(bad)
+	// The "bad" path has the max window but a poor inter-loss record; the
+	// "good" path delivers far more between losses.
+	good.setCwnd(5)
+	good.state.InterLossPkts = 1000
+	bad.setCwnd(50)
+	bad.state.InterLossPkts = 10
+	good.state.SRTT, bad.state.SRTT = rtt, rtt
+	if a := good.alpha(); a <= 0 {
+		t.Fatalf("best-path alpha = %v, want > 0", a)
+	}
+	if a := bad.alpha(); a >= 0 {
+		t.Fatalf("max-window-path alpha = %v, want < 0", a)
+	}
+	// Alphas must sum to ~0 across the connection (window shifting, not
+	// net aggression).
+	if s := good.alpha() + bad.alpha(); math.Abs(s) > 1e-9 {
+		t.Fatalf("alpha sum = %v, want 0", s)
+	}
+}
+
+func TestOLIAAlphaZeroWhenBestIsMax(t *testing.T) {
+	cp := cc.NewCoupler()
+	a, b := NewOLIA(cp), NewOLIA(cp)
+	a.setCwnd(50)
+	a.state.InterLossPkts = 1000
+	b.setCwnd(10)
+	b.state.InterLossPkts = 10
+	a.state.SRTT, b.state.SRTT = rtt, rtt
+	if a.alpha() != 0 || b.alpha() != 0 {
+		t.Fatalf("alphas = %v, %v; want 0,0 when best path has max window", a.alpha(), b.alpha())
+	}
+}
+
+func TestBaliaSinglePathReducesToReno(t *testing.T) {
+	cp := cc.NewCoupler()
+	b := NewBalia(cp)
+	exitSlowStart(b)
+	w := b.Cwnd()
+	ackRTT(b, 0, rtt)
+	if got := b.Cwnd() - w; got < 0.85 || got > 1.1 {
+		t.Fatalf("single-path Balia growth per RTT = %v, want ≈1", got)
+	}
+}
+
+func TestBaliaLossDecreaseBounded(t *testing.T) {
+	cp := cc.NewCoupler()
+	a, b := NewBalia(cp), NewBalia(cp)
+	a.setCwnd(40)
+	b.setCwnd(40)
+	a.state.SRTT, b.state.SRTT = rtt, rtt
+	a.OnLossEvent(0)
+	// α = 1 for equal rates → decrease w/2·min(1,1.5) = w/2.
+	if got := a.Cwnd(); math.Abs(got-20) > 0.5 {
+		t.Fatalf("Balia equal-rate loss: cwnd = %v, want 20", got)
+	}
+	// A much slower subflow (α large) decreases by at most 1.5·w/2.
+	b.setCwnd(40)
+	a.setCwnd(4)
+	a.OnLossEvent(0)
+	if got := a.Cwnd(); got < 4*(1-0.75)-0.5 {
+		t.Fatalf("Balia max decrease exceeded: %v", got)
+	}
+}
+
+func TestCoupledSlowStart(t *testing.T) {
+	for name, w := range map[string]cc.WindowController{
+		"lia":   NewLIA(cc.NewCoupler()),
+		"olia":  NewOLIA(cc.NewCoupler()),
+		"balia": NewBalia(cc.NewCoupler()),
+	} {
+		before := w.Cwnd()
+		ackRTT(w, 0, rtt)
+		if w.Cwnd() != 2*before {
+			t.Fatalf("%s: slow start %v → %v, want doubling", name, before, w.Cwnd())
+		}
+	}
+}
+
+func TestCoupledRTOCollapse(t *testing.T) {
+	for name, w := range map[string]cc.WindowController{
+		"lia":    NewLIA(cc.NewCoupler()),
+		"olia":   NewOLIA(cc.NewCoupler()),
+		"balia":  NewBalia(cc.NewCoupler()),
+		"wvegas": NewWVegas(cc.NewCoupler(), 10),
+	} {
+		w.OnRTO(0)
+		if w.Cwnd() != 1 {
+			t.Fatalf("%s: after RTO cwnd = %v, want 1", name, w.Cwnd())
+		}
+	}
+}
+
+func TestCouplerStateTracksCwnd(t *testing.T) {
+	cp := cc.NewCoupler()
+	l := NewLIA(cp)
+	ackRTT(l, 0, rtt)
+	if cp.States()[0].CwndPkts != l.Cwnd() {
+		t.Fatal("coupler state out of sync with controller cwnd")
+	}
+}
+
+func TestWVegasStopsAtBacklogTarget(t *testing.T) {
+	cp := cc.NewCoupler()
+	w := NewWVegas(cp, 10)
+	// Fluid link: capacity 100 Mbps, base RTT 30 ms → BDP 250 pkts.
+	// RTT inflates once cwnd exceeds BDP.
+	capPkts := 250.0
+	now := sim.Time(0)
+	for epoch := 0; epoch < 400; epoch++ {
+		r := rtt
+		if w.Cwnd() > capPkts {
+			r = sim.FromSeconds(rtt.Seconds() * w.Cwnd() / capPkts)
+		}
+		n := int(w.Cwnd())
+		for i := 0; i < n; i++ {
+			w.OnAck(now, r, 1)
+		}
+		now += r
+	}
+	// Equilibrium: diff = cwnd·(rtt−base)/rtt = α → cwnd ≈ BDP + α.
+	got := w.Cwnd()
+	if got < capPkts || got > capPkts+30 {
+		t.Fatalf("wVegas equilibrium cwnd = %v, want ≈%v+10", got, capPkts)
+	}
+}
+
+func TestWVegasWeightsSplitTarget(t *testing.T) {
+	cp := cc.NewCoupler()
+	a := NewWVegas(cp, 10)
+	b := NewWVegas(cp, 10)
+	a.setCwnd(30)
+	b.setCwnd(10)
+	a.state.SRTT, b.state.SRTT = rtt, rtt
+	wa, wb := a.weight(), b.weight()
+	if math.Abs(wa+wb-1) > 1e-9 {
+		t.Fatalf("weights sum to %v, want 1", wa+wb)
+	}
+	if wa <= wb {
+		t.Fatalf("faster subflow should have larger weight: %v vs %v", wa, wb)
+	}
+}
+
+func TestWVegasLossHalves(t *testing.T) {
+	cp := cc.NewCoupler()
+	w := NewWVegas(cp, 10)
+	w.setCwnd(40)
+	w.OnLossEvent(0)
+	if w.Cwnd() != 20 {
+		t.Fatalf("after loss cwnd = %v, want 20", w.Cwnd())
+	}
+}

@@ -1,0 +1,97 @@
+package cubic
+
+import (
+	"testing"
+
+	"mpcc/internal/sim"
+)
+
+func TestSlowStartGrowth(t *testing.T) {
+	c := New()
+	w := c.Cwnd()
+	for i := 0; i < int(w); i++ {
+		c.OnAck(0, 30*sim.Millisecond, 1)
+	}
+	if c.Cwnd() != 2*w {
+		t.Fatalf("slow start: %v → %v, want doubling", w, c.Cwnd())
+	}
+}
+
+func TestLossAppliesBeta(t *testing.T) {
+	c := New()
+	c.cwnd = 100
+	c.ssthresh = 50 // in CA
+	c.OnLossEvent(0)
+	if got := c.Cwnd(); got < 69.9 || got > 70.1 {
+		t.Fatalf("after loss cwnd = %v, want 70 (β=0.7)", got)
+	}
+}
+
+func TestFastConvergence(t *testing.T) {
+	c := New()
+	c.cwnd = 100
+	c.ssthresh = 50
+	c.OnLossEvent(0) // wMax = 100, cwnd = 70
+	c.cwnd = 80      // lost again before regaining wMax
+	c.OnLossEvent(0)
+	// Fast convergence: wMax = 80·(1+0.7)/2 = 68 < 80.
+	if c.wMax >= 80 {
+		t.Fatalf("fast convergence not applied: wMax = %v", c.wMax)
+	}
+}
+
+func TestCubicRegrowthTowardWmax(t *testing.T) {
+	// After a loss, the window approaches wMax in roughly K seconds and is
+	// concave before, convex after.
+	c := New()
+	c.cwnd = 100
+	c.ssthresh = 50
+	c.OnLossEvent(0) // wMax=100, cwnd=70, K = cbrt(30/0.4) ≈ 4.22 s
+	rtt := 30 * sim.Millisecond
+	now := sim.Time(0)
+	for now < 6*sim.Second {
+		for i := 0; i < int(c.Cwnd()); i++ {
+			c.OnAck(now, rtt, 1)
+		}
+		now += rtt
+	}
+	if got := c.Cwnd(); got < 95 {
+		t.Fatalf("after 6s cwnd = %v, want ≈≥ wMax (100)", got)
+	}
+}
+
+func TestRTOResets(t *testing.T) {
+	c := New()
+	c.cwnd = 80
+	c.ssthresh = 40
+	c.OnRTO(0)
+	if c.Cwnd() != 1 {
+		t.Fatalf("after RTO cwnd = %v", c.Cwnd())
+	}
+	if !c.InSlowStart() {
+		t.Fatal("should slow-start after RTO")
+	}
+}
+
+func TestTCPFriendlyRegionDominatesAtSmallBDP(t *testing.T) {
+	// At tiny windows and large RTTs, Reno's linear growth exceeds cubic's,
+	// so the wEst floor must apply and growth should be ≈ Reno's slope
+	// 3(1-β)/(1+β) ≈ 0.53 pkt/RTT, not cubic's near-zero early-epoch growth.
+	c := New()
+	c.cwnd = 10
+	c.ssthresh = 5
+	c.wMax = 10
+	rtt := 200 * sim.Millisecond
+	start := c.Cwnd()
+	now := sim.Time(0)
+	for r := 0; r < 10; r++ {
+		for i := 0; i < int(c.Cwnd()); i++ {
+			c.OnAck(now, rtt, 1)
+		}
+		now += rtt
+	}
+	growth := (c.Cwnd() - start) / 10
+	if growth < 0.2 {
+		t.Fatalf("growth per RTT = %v, want ≥ 0.2 (friendly region)", growth)
+	}
+}

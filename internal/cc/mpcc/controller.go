@@ -1,0 +1,565 @@
+package mpcc
+
+import (
+	"math"
+	"math/rand"
+
+	"mpcc/internal/cc"
+	"mpcc/internal/sim"
+)
+
+// Config parameterizes a per-subflow MPCC controller.
+type Config struct {
+	Params UtilityParams
+
+	InitialRateBps float64 // first-MI sending rate
+	MinRateBps     float64 // rate floor
+	MaxRateBps     float64 // rate ceiling
+
+	// ProbeFrac is ω expressed as a fraction of the connection's *total*
+	// published sending rate (§5.2: "ω is not set to be a fraction of r …
+	// but of the connection's total sending rate").
+	ProbeFrac float64
+	// BoundFrac is the moving-phase change bound, likewise a fraction of
+	// the connection's total sending rate.
+	BoundFrac float64
+	// MinProbeBps floors ω so probing works at tiny rates.
+	MinProbeBps float64
+	// StepConv converts an empirical utility gradient (utility units per
+	// Mbps) into a rate step in Mbps.
+	StepConv float64
+	// MaxAmplifier caps the consecutive-move step amplifier.
+	MaxAmplifier float64
+	// GradEps is the gradient magnitude below which probing concludes the
+	// current rate is locally optimal and re-probes.
+	GradEps float64
+	// LatencyDeadband is the floor of the latency-gradient noise filter:
+	// slopes within max(LatencyDeadband, LatencySE·stderr) of zero are
+	// treated as zero. Without a filter, per-packet queueing jitter on a
+	// shared link reads as a (γ-amplified) latency penalty and latency-mode
+	// flows flee an uncongested link; a wide fixed filter would instead
+	// hide the r−ω drain signal Vivace's queue control relies on.
+	LatencyDeadband float64
+	// LatencySE is the t-test multiplier on the slope's standard error.
+	LatencySE float64
+	// ProbePairs is the number of randomized (r+ω, r−ω) MI pairs per
+	// probing cycle; Vivace uses 2 (four MIs) to average out measurement
+	// noise.
+	ProbePairs int
+	// NoisePkts scales the statistical tolerance used when deciding that
+	// utility "decreased": loss counts are Poisson-ish, so a comparison is
+	// only meaningful beyond NoisePkts standard deviations (√k lost
+	// packets) of the loss terms involved. Zero-loss intervals compare
+	// exactly.
+	NoisePkts float64
+
+	// ScaleByOwnRate is an ablation switch (§5.2): when set, the probe step
+	// ω and the change bound scale with the subflow's OWN rate instead of
+	// the connection total — the variant the paper reports as getting stuck
+	// at suboptimal splits.
+	ScaleByOwnRate bool
+	// LivePublication is an ablation switch (§5.2 remark): when set, the
+	// utility reads the siblings' live published rates during gradient
+	// estimation instead of the frozen snapshot.
+	LivePublication bool
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation,
+// with the given utility parameters.
+func DefaultConfig(p UtilityParams) Config {
+	return Config{
+		Params:          p,
+		InitialRateBps:  2e6,
+		MinRateBps:      0.5e6,
+		MaxRateBps:      100e9,
+		ProbeFrac:       0.05,
+		BoundFrac:       0.05,
+		MinProbeBps:     0.2e6,
+		StepConv:        2.0,
+		MaxAmplifier:    8,
+		GradEps:         0.01,
+		LatencyDeadband: 0.005,
+		LatencySE:       3,
+		ProbePairs:      2,
+		NoisePkts:       1.5,
+	}
+}
+
+// Controller state machine phases (§5.2).
+type phase int
+
+const (
+	phaseStarting phase = iota // slow start: double until utility drops
+	phaseProbing               // estimate the utility gradient at r±ω
+	phaseMoving                // gradient ascent with amplifier/bound/swing buffer
+)
+
+func (p phase) String() string {
+	switch p {
+	case phaseStarting:
+		return "starting"
+	case phaseProbing:
+		return "probing"
+	case phaseMoving:
+		return "moving"
+	default:
+		return "unknown"
+	}
+}
+
+// Roles a monitor interval can play in the decision process.
+type miRole int
+
+const (
+	roleFiller  miRole = iota // sent at the base rate while awaiting statistics
+	roleStart                 // a slow-start doubling trial
+	roleProbeHi               // probing at r+ω
+	roleProbeLo               // probing at r−ω
+	roleMove                  // a moving-phase step trial
+)
+
+type plannedMI struct {
+	role miRole
+	rate float64 // bps configured for this MI
+}
+
+// Controller is the per-subflow MPCC rate controller. It implements
+// cc.RateController. A Controller is bound to its connection's Group (for
+// rate publication) and optimizes the subflow-specific utility of Eq. 2.
+//
+// Controllers are driven by a single-threaded simulation engine and are not
+// safe for concurrent use.
+type Controller struct {
+	cfg Config
+	grp *Group
+	id  int
+	rng *rand.Rand
+
+	state phase
+	rate  float64 // current base rate, bps
+
+	tracer func(TraceEvent)
+
+	// planned mirrors, in order, the MIs the transport has started; the
+	// n-th OnMIComplete corresponds to planned[n] (completions arrive in
+	// MI order).
+	planned []plannedMI
+
+	// others is the snapshot C of sibling published rates (bps), frozen for
+	// the duration of a gradient-estimation cycle (§5.2 remark).
+	others float64
+
+	// slow start
+	prevRate    float64
+	prevUtility float64
+	prevTol     float64
+	haveBase    bool
+	awaiting    int // decision MIs in flight
+
+	// probing
+	probeOmega   float64 // bps
+	probeIssued  int     // trial MIs issued this cycle (0..2·ProbePairs)
+	probeFirstHi bool    // whether the first trial of the current pair is r+ω
+	probeHiU     float64 // accumulated utility of the r+ω trials
+	probeLoU     float64 // accumulated utility of the r−ω trials
+	probeHiRate  float64
+	probeLoRate  float64
+	probeGot     int
+	probeTol     float64  // accumulated noise tolerance across trials
+	probeRetry   []miRole // probe trials to re-issue after an app-limited MI
+
+	// moving
+	dir        float64 // +1 or −1
+	amp        float64
+	consec     int     // consecutive same-direction successful moves
+	bestU      float64 // best utility seen in this moving run
+	bestTol    float64 // noise tolerance of the bestU measurement
+	bestRate   float64 // rate at which bestU was observed, bps
+	lastU      float64
+	lastRate   float64 // bps at which lastU was measured
+	swingBound float64 // Mbps cap on the next step after an overshoot; 0 = none
+	moveIssued bool
+}
+
+// New returns a controller for one subflow. grp must be the connection's
+// shared Group; the controller joins it. rng drives probe-order
+// randomization and must be the simulation's deterministic source.
+func New(cfg Config, grp *Group, rng *rand.Rand) *Controller {
+	if !cfg.Params.Valid() {
+		panic("mpcc: invalid utility parameters")
+	}
+	c := &Controller{
+		cfg:   cfg,
+		grp:   grp,
+		id:    grp.Join(),
+		rng:   rng,
+		state: phaseStarting,
+		rate:  cfg.InitialRateBps,
+		amp:   1,
+	}
+	grp.Publish(c.id, c.rate)
+	return c
+}
+
+// ID returns the subflow's id within its Group.
+func (c *Controller) ID() int { return c.id }
+
+// Rate returns the current base sending rate in bits/s.
+func (c *Controller) Rate() float64 { return c.rate }
+
+// State returns the controller phase name (for tracing and tests).
+func (c *Controller) State() string { return c.state.String() }
+
+// InitialRate implements cc.RateController.
+func (c *Controller) InitialRate() float64 { return c.cfg.InitialRateBps }
+
+// NextRate implements cc.RateController: it is called at each MI boundary
+// and returns the pacing rate for the new interval. It also publishes the
+// chosen rate to the group (the rate-publication point).
+func (c *Controller) NextRate(now, srtt sim.Time) float64 {
+	var p plannedMI
+	switch c.state {
+	case phaseStarting:
+		if c.awaiting > 0 {
+			p = plannedMI{roleFiller, c.rate}
+		} else {
+			if c.haveBase {
+				c.prevRate = c.rate
+				c.rate = c.clamp(c.rate * 2)
+			}
+			p = plannedMI{roleStart, c.rate}
+			c.awaiting++
+		}
+	case phaseProbing:
+		p = c.nextProbeMI()
+	case phaseMoving:
+		if c.moveIssued {
+			p = plannedMI{roleFiller, c.rate}
+		} else {
+			p = plannedMI{roleMove, c.rate}
+			c.moveIssued = true
+			c.awaiting++
+		}
+	}
+	c.planned = append(c.planned, p)
+	c.grp.Publish(c.id, p.rate)
+	if c.tracer != nil {
+		c.tracer(TraceEvent{At: now, Subflow: c.id, State: c.state.String(), RateBps: p.rate, Decision: true})
+	}
+	return p.rate
+}
+
+func (c *Controller) probePairs() int {
+	if c.cfg.ProbePairs > 0 {
+		return c.cfg.ProbePairs
+	}
+	return 1
+}
+
+func (c *Controller) nextProbeMI() plannedMI {
+	if len(c.probeRetry) > 0 {
+		role := c.probeRetry[0]
+		c.probeRetry = c.probeRetry[1:]
+		c.awaiting++
+		if role == roleProbeHi {
+			return plannedMI{roleProbeHi, c.probeHiRate}
+		}
+		return plannedMI{roleProbeLo, c.probeLoRate}
+	}
+	if c.probeIssued == 0 {
+		// New probing cycle: snapshot siblings and compute the probe rates.
+		c.others = c.grp.TotalExcept(c.id)
+		base := c.grp.Total()
+		if c.cfg.ScaleByOwnRate {
+			base = c.rate
+		}
+		c.probeOmega = math.Max(c.cfg.MinProbeBps, c.cfg.ProbeFrac*base)
+		hi := c.clamp(c.rate + c.probeOmega)
+		lo := c.clamp(c.rate - c.probeOmega)
+		if hi-lo < 1 { // degenerate at the rate floor/ceiling: nudge apart
+			hi = c.clamp(c.rate + c.cfg.MinProbeBps)
+			lo = c.clamp(hi - 2*c.cfg.MinProbeBps)
+		}
+		c.probeHiRate, c.probeLoRate = hi, lo
+		c.probeHiU, c.probeLoU, c.probeTol = 0, 0, 0
+	}
+	if c.probeIssued < 2*c.probePairs() {
+		// Each pair's order is randomized (hi-lo or lo-hi) so queueing
+		// carry-over between adjacent MIs does not bias the estimate.
+		if c.probeIssued%2 == 0 {
+			c.probeFirstHi = c.rng == nil || c.rng.Intn(2) == 1
+		}
+		hiTurn := c.probeFirstHi == (c.probeIssued%2 == 0)
+		c.probeIssued++
+		c.awaiting++
+		if hiTurn {
+			return plannedMI{roleProbeHi, c.probeHiRate}
+		}
+		return plannedMI{roleProbeLo, c.probeLoRate}
+	}
+	return plannedMI{roleFiller, c.rate}
+}
+
+// OnMIComplete implements cc.RateController. Statistics arrive in MI order;
+// the controller matches them to its planned roles FIFO.
+func (c *Controller) OnMIComplete(st cc.MIStats) {
+	if len(c.planned) == 0 {
+		return // completion for an MI planned before a reset; ignore
+	}
+	p := c.planned[0]
+	c.planned = c.planned[1:]
+	if p.role == roleFiller {
+		return
+	}
+	c.awaiting--
+	if st.Ignore {
+		// The decision MI carried no traffic; retry the decision.
+		c.retry(p)
+		return
+	}
+	u := c.utilityOf(p.rate, st)
+	if c.tracer != nil {
+		c.tracer(TraceEvent{At: st.End, Subflow: c.id, State: c.state.String(), RateBps: p.rate, Utility: u})
+	}
+	switch p.role {
+	case roleStart:
+		c.onStartComplete(p, st, u)
+	case roleProbeHi:
+		c.probeHiU += u
+		c.probeTol += c.noiseTol(p.rate, st)
+		c.probeGot++
+		c.maybeDecideProbe()
+	case roleProbeLo:
+		c.probeLoU += u
+		c.probeTol += c.noiseTol(p.rate, st)
+		c.probeGot++
+		c.maybeDecideProbe()
+	case roleMove:
+		c.onMoveComplete(p, st, u)
+	}
+}
+
+func (c *Controller) retry(p plannedMI) {
+	switch p.role {
+	case roleStart:
+		// Undo the doubling so the re-issued trial lands at the same rate.
+		if c.haveBase {
+			c.rate = c.prevRate
+		}
+	case roleProbeHi, roleProbeLo:
+		// Re-issue just this trial; the rest of the cycle stands.
+		c.probeRetry = append(c.probeRetry, p.role)
+	case roleMove:
+		c.moveIssued = false
+	}
+}
+
+// noiseTol returns the statistical uncertainty of the MI's utility stemming
+// from its loss measurement: the loss count k over n packets carries ≈√k of
+// sampling noise, each lost packet swinging the utility by β·total/n. An MI
+// with zero observed loss has an exact utility (the reward term is
+// deterministic), so its tolerance is zero. Comparisons add the tolerances
+// of both samples involved.
+func (c *Controller) noiseTol(rateBps float64, st cc.MIStats) float64 {
+	pkts := float64(st.BytesSent) / 1500
+	if pkts < 1 {
+		pkts = 1
+	}
+	lost := float64(st.BytesLost) / 1500
+	if lost <= 0 {
+		return 0
+	}
+	totalMbps := (c.others + rateBps) / 1e6
+	if c.state == phaseStarting {
+		totalMbps = (c.grp.TotalExcept(c.id) + rateBps) / 1e6
+	}
+	return c.cfg.Params.Beta * totalMbps * c.cfg.NoisePkts * math.Sqrt(lost) / pkts
+}
+
+func (c *Controller) onStartComplete(p plannedMI, st cc.MIStats, u float64) {
+	appLimited := st.SendRate < 0.5*p.rate
+	if c.haveBase && u < c.prevUtility-(c.noiseTol(p.rate, st)+c.prevTol) {
+		// First utility decrease: revert to the previous rate and probe.
+		c.rate = c.prevRate
+		c.enterProbing()
+		return
+	}
+	c.prevUtility = u
+	c.prevTol = c.noiseTol(p.rate, st)
+	c.haveBase = true
+	if appLimited || c.rate >= c.cfg.MaxRateBps {
+		// No point doubling past what the application offers.
+		c.enterProbing()
+	}
+}
+
+func (c *Controller) maybeDecideProbe() {
+	if c.probeGot < 2*c.probePairs() {
+		return
+	}
+	n := float64(c.probePairs())
+	c.probeGot = 0
+	c.probeIssued = 0
+	dMbps := (c.probeHiRate - c.probeLoRate) / 1e6
+	if dMbps <= 0 {
+		return
+	}
+	grad := (c.probeHiU - c.probeLoU) / n / dMbps
+	if math.Abs(grad) < c.cfg.GradEps {
+		// Locally flat: stay at the current rate and probe again.
+		return
+	}
+	c.dir = 1
+	if grad < 0 {
+		c.dir = -1
+	}
+	c.lastU = (c.probeHiU + c.probeLoU) / (2 * n)
+	c.lastRate = c.rate
+	c.bestU = c.lastU
+	c.bestTol = c.probeTol / (2 * n)
+	c.bestRate = c.rate
+	c.amp = 1
+	c.consec = 0
+	c.state = phaseMoving
+	c.applyStep(math.Abs(grad))
+}
+
+func (c *Controller) onMoveComplete(p plannedMI, st cc.MIStats, u float64) {
+	c.moveIssued = false
+	// Compare against the best utility of this moving run: anchoring at the
+	// best (rather than the previous MI) keeps per-step measurement noise
+	// from ratcheting the rate away one small step at a time. The revert
+	// target is the PREVIOUS step's rate, not the anchor's — a "best"
+	// utility measured while a deep buffer was silently filling must not
+	// become a rate to return to.
+	if u < c.bestU-(c.noiseTol(p.rate, st)+c.bestTol) {
+		lastStepMbps := math.Abs(p.rate-c.lastRate) / 1e6
+		c.swingBound = math.Max(lastStepMbps/2, c.cfg.MinProbeBps/1e6)
+		c.rate = c.lastRate
+		c.enterProbing()
+		return
+	}
+	if p.rate == c.lastRate {
+		// Pinned at the rate floor/ceiling: nothing left to learn here.
+		c.enterProbing()
+		return
+	}
+	if u > c.bestU {
+		c.bestU = u
+		c.bestTol = c.noiseTol(p.rate, st)
+		c.bestRate = p.rate
+	}
+	// Improved: continue in this direction with an amplified step sized by
+	// the fresh empirical gradient.
+	dMbps := (p.rate - c.lastRate) / 1e6
+	grad := 0.0
+	if dMbps != 0 {
+		grad = (u - c.lastU) / dMbps
+	}
+	c.lastU = u
+	c.lastRate = p.rate
+	c.rate = p.rate
+	c.amp = math.Min(c.amp*2, c.cfg.MaxAmplifier)
+	c.consec++
+	if c.swingBound > 0 {
+		c.swingBound *= 2 // gradually release the swing buffer
+	}
+	c.applyStep(math.Abs(grad))
+}
+
+// applyStep moves the base rate one gradient-ascent step in c.dir. The
+// change bound follows Vivace's dynamic boundary: it starts at BoundFrac of
+// the connection's total rate and grows by another BoundFrac for each
+// consecutive same-direction move, so sustained gradients translate into
+// exponential ramps while a single noisy MI stays tightly bounded.
+func (c *Controller) applyStep(gradMag float64) {
+	totalMbps := c.grp.Total() / 1e6
+	if c.cfg.ScaleByOwnRate {
+		totalMbps = c.rate / 1e6
+	}
+	stepMbps := c.cfg.StepConv * gradMag * c.amp
+	// Dynamic change bound, growth capped at 4× the base fraction: enough
+	// for an exponential ramp, small enough that a deep buffer's delayed
+	// loss signal cannot let the rate slam far past capacity first.
+	growth := float64(1 + c.consec)
+	if growth > 4 {
+		growth = 4
+	}
+	bound := c.cfg.BoundFrac * growth * totalMbps
+	minStep := c.cfg.MinProbeBps / 1e6
+	if bound < minStep {
+		bound = minStep
+	}
+	if stepMbps > bound {
+		stepMbps = bound
+	}
+	if c.swingBound > 0 && stepMbps > c.swingBound {
+		stepMbps = c.swingBound
+	}
+	if stepMbps < minStep {
+		stepMbps = minStep
+	}
+	c.rate = c.clamp(c.rate + c.dir*stepMbps*1e6)
+}
+
+func (c *Controller) enterProbing() {
+	c.state = phaseProbing
+	c.probeIssued = 0
+	c.probeGot = 0
+	c.awaiting = 0
+	c.moveIssued = false
+	c.probeRetry = nil
+	c.probeHiU, c.probeLoU, c.probeTol = 0, 0, 0
+}
+
+// utilityOf evaluates Eq. 2 for an MI configured at rateBps, with the frozen
+// sibling snapshot when one is active (probing/moving) and the live board
+// otherwise.
+func (c *Controller) utilityOf(rateBps float64, st cc.MIStats) float64 {
+	others := c.others
+	if c.state == phaseStarting || c.cfg.LivePublication {
+		others = c.grp.TotalExcept(c.id)
+	}
+	x := rateBps
+	// If the application couldn't fill the configured rate, judge what was
+	// actually sent.
+	if st.SendRate > 0 && st.SendRate < 0.9*rateBps {
+		x = st.SendRate
+	}
+	grad := st.RTTGradient
+	dead := c.cfg.LatencyDeadband
+	if se := c.cfg.LatencySE * st.RTTGradientSE; se > dead {
+		dead = se
+	}
+	if grad < dead && grad > -dead {
+		grad = 0
+	}
+	return c.cfg.Params.SubflowUtility(others/1e6, x/1e6, st.LossRate, grad)
+}
+
+func (c *Controller) clamp(r float64) float64 {
+	if r < c.cfg.MinRateBps {
+		return c.cfg.MinRateBps
+	}
+	if r > c.cfg.MaxRateBps {
+		return c.cfg.MaxRateBps
+	}
+	return r
+}
+
+// TraceEvent records one controller decision, for offline analysis of the
+// learning dynamics (cmd/mpccsim -trace).
+type TraceEvent struct {
+	At      sim.Time
+	Subflow int
+	State   string  // phase at decision time
+	RateBps float64 // rate chosen for the starting MI
+	Utility float64 // utility of the completed MI (Decision=false events)
+	// Decision is true for rate choices (NextRate), false for utility
+	// observations (OnMIComplete).
+	Decision bool
+}
+
+// SetTracer installs a hook invoked on every rate decision and utility
+// observation. Pass nil to disable. The hook must not retain the event.
+func (c *Controller) SetTracer(fn func(TraceEvent)) { c.tracer = fn }

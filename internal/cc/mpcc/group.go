@@ -1,0 +1,54 @@
+package mpcc
+
+// Group is the per-connection rate-publication board (§5.2, "rate-publication
+// points"). At the beginning of each monitor interval every subflow publishes
+// its chosen sending rate; sibling subflows snapshot the published rates when
+// they begin a gradient-estimation cycle and treat them as constant until the
+// cycle completes, so that a subflow's rate decisions reflect changes in its
+// own performance rather than in its siblings' rates.
+type Group struct {
+	rates []float64 // published rate per subflow id, bits/s
+}
+
+// NewGroup returns an empty publication board.
+func NewGroup() *Group { return &Group{} }
+
+// Join registers a new subflow and returns its id.
+func (g *Group) Join() int {
+	g.rates = append(g.rates, 0)
+	return len(g.rates) - 1
+}
+
+// Size returns the number of registered subflows.
+func (g *Group) Size() int { return len(g.rates) }
+
+// Publish records subflow id's current sending rate in bits/s.
+func (g *Group) Publish(id int, rateBps float64) {
+	g.rates[id] = rateBps
+}
+
+// Rate returns the last rate published by subflow id.
+func (g *Group) Rate(id int) float64 { return g.rates[id] }
+
+// Total returns the sum of all published rates in bits/s — the
+// "connection's total sending rate" used to scale probe steps and change
+// bounds (§5.2).
+func (g *Group) Total() float64 {
+	t := 0.0
+	for _, r := range g.rates {
+		t += r
+	}
+	return t
+}
+
+// TotalExcept returns the sum of published rates of every subflow except id
+// (the constant C in Eq. 2).
+func (g *Group) TotalExcept(id int) float64 {
+	t := 0.0
+	for i, r := range g.rates {
+		if i != id {
+			t += r
+		}
+	}
+	return t
+}

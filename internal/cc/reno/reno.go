@@ -1,0 +1,79 @@
+// Package reno implements TCP (New)Reno congestion control: slow start to
+// ssthresh, additive increase of one packet per RTT in congestion avoidance,
+// and multiplicative decrease on loss. It is the uncoupled per-subflow
+// baseline ("reno" in the paper's figures) and the substrate the coupled
+// MPTCP algorithms modify.
+package reno
+
+import (
+	"mpcc/internal/sim"
+)
+
+// Controller implements cc.WindowController with classic Reno dynamics.
+// The zero value is not usable; construct with New.
+type Controller struct {
+	cwnd     float64 // packets
+	ssthresh float64
+	minCwnd  float64
+	maxCwnd  float64
+}
+
+// Option configures a Controller.
+type Option func(*Controller)
+
+// WithInitialCwnd sets the initial window in packets (default 10, per
+// RFC 6928).
+func WithInitialCwnd(w float64) Option { return func(c *Controller) { c.cwnd = w } }
+
+// WithMaxCwnd caps the window in packets (default 1e9, effectively
+// unbounded — the paper disables flow-control limits with 300 MB buffers).
+func WithMaxCwnd(w float64) Option { return func(c *Controller) { c.maxCwnd = w } }
+
+// New returns a Reno controller.
+func New(opts ...Option) *Controller {
+	c := &Controller{cwnd: 10, ssthresh: 1e9, minCwnd: 2, maxCwnd: 1e9}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// InitialCwnd implements cc.WindowController.
+func (c *Controller) InitialCwnd() float64 { return c.cwnd }
+
+// Cwnd implements cc.WindowController.
+func (c *Controller) Cwnd() float64 { return c.cwnd }
+
+// InSlowStart reports whether the controller is below ssthresh.
+func (c *Controller) InSlowStart() bool { return c.cwnd < c.ssthresh }
+
+// OnAck implements cc.WindowController: slow start grows the window by one
+// packet per ACK; congestion avoidance by 1/cwnd per ACK.
+func (c *Controller) OnAck(now, rtt sim.Time, ackedPkts float64) {
+	if c.InSlowStart() {
+		c.cwnd += ackedPkts
+	} else {
+		c.cwnd += ackedPkts / c.cwnd
+	}
+	if c.cwnd > c.maxCwnd {
+		c.cwnd = c.maxCwnd
+	}
+}
+
+// OnLossEvent implements cc.WindowController: halve, once per loss episode.
+func (c *Controller) OnLossEvent(now sim.Time) {
+	c.ssthresh = c.cwnd / 2
+	if c.ssthresh < c.minCwnd {
+		c.ssthresh = c.minCwnd
+	}
+	c.cwnd = c.ssthresh
+}
+
+// OnRTO implements cc.WindowController: collapse to one packet.
+func (c *Controller) OnRTO(now sim.Time) {
+	c.ssthresh = c.cwnd / 2
+	if c.ssthresh < c.minCwnd {
+		c.ssthresh = c.minCwnd
+	}
+	c.cwnd = 1
+}

@@ -1,0 +1,27 @@
+package exp
+
+import "mpcc/internal/sim"
+
+// Config scales the experiments. The paper runs 200 s × 5 repetitions with
+// the first 30 s omitted; convergence happens within a few hundred monitor
+// intervals, so the default reproduces the same steady-state comparisons at
+// a tractable scale (EXPERIMENTS.md records the settings used per figure).
+type Config struct {
+	Duration sim.Time
+	Warmup   sim.Time
+	Reps     int
+	Seed     int64
+	// Full selects paper-scale sweeps where the default subsamples (the
+	// 576-configuration grids of Figs. 14–15, the 75 MB live downloads).
+	Full bool
+}
+
+// DefaultConfig returns the scaled-down default.
+func DefaultConfig() Config {
+	return Config{Duration: 20 * sim.Second, Warmup: 8 * sim.Second, Reps: 1, Seed: 42}
+}
+
+// QuickConfig returns an even shorter configuration for benchmarks.
+func QuickConfig() Config {
+	return Config{Duration: 10 * sim.Second, Warmup: 4 * sim.Second, Reps: 1, Seed: 42}
+}

@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"fmt"
+
+	"mpcc/internal/topo"
+)
+
+// Fig5aBuffers is the buffer sweep of Fig. 5a (KB on link 1; link 2 stays
+// at the 375 KB BDP).
+var Fig5aBuffers = []int{3, 9, 30, 60, 120, 240, 375}
+
+// ShallowBufferMP reproduces Fig. 5a: the goodput of a single multipath
+// connection over two links (topology 3b) as link 1's buffer shrinks below
+// the BDP. MPCC should stay near full utilization down to ~9 KB while the
+// MPTCP variants need ~60 KB (§7.2.1).
+func ShallowBufferMP(cfg Config) *Table {
+	t := &Table{
+		Title:  "Fig 5a — multipath goodput vs link-1 buffer (topology 3b), Mbps",
+		Header: append([]string{"buffer_KB"}, protoNames(MultipathSet)...),
+	}
+	for _, buf := range Fig5aBuffers {
+		row := []string{fmt.Sprint(buf)}
+		for _, p := range MultipathSet {
+			res := RunAveraged(Spec{
+				Seed: cfg.Seed, Duration: cfg.Duration, Warmup: cfg.Warmup,
+				Topo:  topo.Fig3b(),
+				Proto: p,
+				Tweak: bufTweak("link1", buf*1000),
+			}, cfg.Reps)
+			row = append(row, mbps(res.Flows["mp"].GoodputBps))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// ShallowBufferSP reproduces Fig. 5b: the goodput of the single-path
+// connection sharing link 2 with the multipath sender (topology 3c) as the
+// multipath sender's private link-1 buffer shrinks. MPTCP variants that
+// underuse link 1 press harder on link 2 and squeeze the single-path flow.
+func ShallowBufferSP(cfg Config) *Table {
+	t := &Table{
+		Title:  "Fig 5b — single-path goodput vs link-1 buffer (topology 3c), Mbps",
+		Header: append([]string{"buffer_KB"}, protoNames(MultipathSet)...),
+	}
+	for _, buf := range Fig5aBuffers {
+		row := []string{fmt.Sprint(buf)}
+		for _, p := range MultipathSet {
+			res := RunAveraged(Spec{
+				Seed: cfg.Seed, Duration: cfg.Duration, Warmup: cfg.Warmup,
+				Topo:  topo.Fig3c(),
+				Proto: p,
+				Tweak: bufTweak("link1", buf*1000),
+			}, cfg.Reps)
+			row = append(row, mbps(res.Flows["sp"].GoodputBps))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig6LossRates is the random-loss sweep of Fig. 6 (fractions).
+var Fig6LossRates = []float64{0.00001, 0.0001, 0.001, 0.01, 0.05, 0.1}
+
+// RandomLossMP reproduces Fig. 6a: multipath goodput on topology 3b with
+// i.i.d. random loss on link 1.
+func RandomLossMP(cfg Config) *Table {
+	t := &Table{
+		Title:  "Fig 6a — multipath goodput vs link-1 random loss (topology 3b), Mbps",
+		Header: append([]string{"loss_pct"}, protoNames(MultipathSet)...),
+	}
+	for _, loss := range Fig6LossRates {
+		row := []string{fmt.Sprintf("%g", loss*100)}
+		for _, p := range MultipathSet {
+			res := RunAveraged(Spec{
+				Seed: cfg.Seed, Duration: cfg.Duration, Warmup: cfg.Warmup,
+				Topo:  topo.Fig3b(),
+				Proto: p,
+				Tweak: lossTweak("link1", loss),
+			}, cfg.Reps)
+			row = append(row, mbps(res.Flows["mp"].GoodputBps))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// RandomLossSP reproduces Fig. 6b: single-path goodput on topology 3c with
+// random loss on the multipath sender's private link.
+func RandomLossSP(cfg Config) *Table {
+	t := &Table{
+		Title:  "Fig 6b — single-path goodput vs link-1 random loss (topology 3c), Mbps",
+		Header: append([]string{"loss_pct"}, protoNames(MultipathSet)...),
+	}
+	for _, loss := range Fig6LossRates {
+		row := []string{fmt.Sprintf("%g", loss*100)}
+		for _, p := range MultipathSet {
+			res := RunAveraged(Spec{
+				Seed: cfg.Seed, Duration: cfg.Duration, Warmup: cfg.Warmup,
+				Topo:  topo.Fig3c(),
+				Proto: p,
+				Tweak: lossTweak("link1", loss),
+			}, cfg.Reps)
+			row = append(row, mbps(res.Flows["sp"].GoodputBps))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func bufTweak(link string, bytes int) func(*topo.Net) {
+	return func(n *topo.Net) { n.Link(link).SetBuffer(bytes) }
+}
+
+func lossTweak(link string, p float64) func(*topo.Net) {
+	return func(n *topo.Net) { n.Link(link).SetLoss(p) }
+}
+
+func protoNames(ps []Protocol) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = string(p)
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"fmt"
+
+	"mpcc/internal/sim"
+	"mpcc/internal/stats"
+	"mpcc/internal/topo"
+	"mpcc/internal/transport"
+)
+
+// DCProtocols is the Fig. 19 lineup.
+var DCProtocols = []Protocol{MPCCLatency, MPCCLoss, Cubic, LIA, OLIA, Balia, WVegas}
+
+// DCConfig scales the Fig. 19 workload. The paper ran 15×10GB + 35×10MB
+// flows per host plus a 10KB flow per host per second for a minute on a
+// 25 Gbps fabric; the default here scales bandwidth 100× down and the
+// workload accordingly, keeping the fabric congested for the whole run so
+// the long flows experience the sustained contention that drives the
+// paper's result (DESIGN.md).
+type DCConfig struct {
+	LongFlows   int   // per host
+	LongBytes   int64 //
+	MedFlows    int   // per host
+	MedBytes    int64
+	ShortEvery  sim.Time // one short flow per host per interval
+	ShortBytes  int64
+	ShortFor    sim.Time // how long short flows keep arriving
+	Duration    sim.Time
+	SubflowsPer int
+}
+
+// DefaultDCConfig returns the scaled workload.
+func DefaultDCConfig() DCConfig {
+	return DCConfig{
+		LongFlows: 2, LongBytes: 50_000_000,
+		MedFlows: 4, MedBytes: 1_000_000,
+		ShortEvery: 500 * sim.Millisecond, ShortBytes: 10_000, ShortFor: 4 * sim.Second,
+		Duration:    12 * sim.Second,
+		SubflowsPer: 3,
+	}
+}
+
+// FCTClass summarizes flow completion times of one size class.
+type FCTClass struct {
+	Done, Started int
+	Stats         stats.Summary // seconds, completed flows only
+}
+
+// DCResult maps protocol → class name → FCT summary.
+type DCResult map[Protocol]map[string]FCTClass
+
+// DataCenterFCT reproduces Fig. 19 on the Fig. 18 Clos testbed: every flow
+// is a 3-subflow multipath connection over ECMP-spread spine paths; flow
+// completion times are collected per size class.
+func DataCenterFCT(cfg Config, dc DCConfig) DCResult {
+	out := make(DCResult)
+	for _, p := range DCProtocols {
+		out[p] = runDC(cfg.Seed, p, dc)
+	}
+	return out
+}
+
+func runDC(seed int64, p Protocol, dc DCConfig) map[string]FCTClass {
+	eng := sim.NewEngine(seed)
+	clos := topo.NewClos(eng, topo.DefaultClosConfig())
+	rng := eng.Rand()
+	nHosts := clos.Cfg.NumHosts
+
+	fcts := map[string][]float64{"short": nil, "medium": nil, "long": nil}
+	started := map[string]int{}
+	flowID := 0
+
+	start := func(src int, bytes int64, class string, at sim.Time) {
+		dst := rng.Intn(nHosts - 1)
+		if dst >= src {
+			dst++
+		}
+		paths := clos.SubflowPaths(src, dst, dc.SubflowsPer)
+		name := fmt.Sprintf("%s-%d", class, flowID)
+		flowID++
+		conn := Attach(eng, name, p, paths, AttachOptions{
+			// DC stacks use a much lower minimum RTO than the WAN default.
+			ConnOptions: []transport.ConnOption{transport.WithMinRTO(10 * sim.Millisecond)},
+			// Start rate-based flows at a rate matched to the fabric.
+			InitialRateBps: 50e6,
+		})
+		conn.SetApp(transport.NewFile(bytes), func(fct sim.Time) {
+			fcts[class] = append(fcts[class], fct.Seconds())
+		})
+		conn.Start(at)
+		started[class]++
+	}
+
+	for h := 0; h < nHosts; h++ {
+		for i := 0; i < dc.LongFlows; i++ {
+			start(h, dc.LongBytes, "long", 0)
+		}
+		for i := 0; i < dc.MedFlows; i++ {
+			start(h, dc.MedBytes, "medium", 0)
+		}
+		for at := dc.ShortEvery; at <= dc.ShortFor; at += dc.ShortEvery {
+			start(h, dc.ShortBytes, "short", at)
+		}
+	}
+	eng.Run(dc.Duration)
+
+	res := make(map[string]FCTClass, 3)
+	for class, ts := range fcts {
+		res[class] = FCTClass{Done: len(ts), Started: started[class], Stats: stats.Summarize(ts)}
+	}
+	return res
+}
+
+// Table renders Fig. 19's percentiles for one size class.
+func (r DCResult) Table(class string) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Fig 19 — FCT on the Clos testbed, %s flows, seconds", class),
+		Header: []string{"protocol", "done/started", "mean", "p1", "p5", "median", "p95", "p99"},
+	}
+	for _, p := range DCProtocols {
+		c := r[p][class]
+		t.AddRow(string(p),
+			fmt.Sprintf("%d/%d", c.Done, c.Started),
+			fmt.Sprintf("%.4f", c.Stats.Mean),
+			fmt.Sprintf("%.4f", c.Stats.P1),
+			fmt.Sprintf("%.4f", c.Stats.P5),
+			fmt.Sprintf("%.4f", c.Stats.Median),
+			fmt.Sprintf("%.4f", c.Stats.P95),
+			fmt.Sprintf("%.4f", c.Stats.P99))
+	}
+	return t
+}

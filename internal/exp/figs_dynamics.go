@@ -1,0 +1,226 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpcc/internal/fairness"
+	"mpcc/internal/sim"
+	"mpcc/internal/stats"
+	"mpcc/internal/topo"
+)
+
+// ChangingResult carries the Fig. 7/8 timeseries.
+type ChangingResult struct {
+	// Per epoch: the optimal (link-1 bandwidth) line and each protocol's
+	// multipath-subflow-on-link-1 goodput (Fig. 7), plus the single-path
+	// flow's goodput and LMMF fair share (Fig. 8).
+	Epochs     []int
+	OptMbps    []float64
+	FairMbps   []float64
+	MPSubflow  map[Protocol][]float64
+	SPGoodput  map[Protocol][]float64
+	TrackError map[Protocol]float64 // mean |subflow − opt| in Mbps
+	FairError  map[Protocol]float64 // mean |sp − fair share| in Mbps
+}
+
+// Fig7Protocols is the protocol lineup of Figs. 7–8.
+var Fig7Protocols = []Protocol{MPCCLatency, Reno, LIA, OLIA, Balia, WVegas}
+
+// ChangingConditions reproduces Figs. 7 and 8: on topology 3c, link 1's
+// bandwidth, latency and loss are re-randomized every epoch (the paper uses
+// 30 s epochs over 1400 s; epochDur scales that down) and each protocol's
+// tracking of the optimum is measured.
+func ChangingConditions(cfg Config, epochs int, epochDur sim.Time) *ChangingResult {
+	r := &ChangingResult{
+		MPSubflow:  make(map[Protocol][]float64),
+		SPGoodput:  make(map[Protocol][]float64),
+		TrackError: make(map[Protocol]float64),
+		FairError:  make(map[Protocol]float64),
+	}
+	// Pre-draw the epoch conditions once so every protocol faces the same
+	// trace (as in the paper's figure).
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type cond struct {
+		bw   float64
+		lat  sim.Time
+		loss float64
+	}
+	conds := make([]cond, epochs)
+	for i := range conds {
+		conds[i] = cond{
+			bw:   (10 + 90*rng.Float64()) * 1e6,
+			lat:  sim.FromSeconds(0.010 + 0.090*rng.Float64()),
+			loss: 0.0001 + 0.0009*rng.Float64(),
+		}
+	}
+	for i, c := range conds {
+		r.Epochs = append(r.Epochs, i)
+		r.OptMbps = append(r.OptMbps, c.bw/1e6)
+		// LMMF fair share for the SP flow given link-1 bandwidth c.bw.
+		alloc, err := fairness.LMMF(&fairness.Network{
+			Capacity: []float64{c.bw / 1e6, 100},
+			Conns:    [][]int{{0, 1}, {1}},
+		})
+		if err != nil {
+			panic(err)
+		}
+		r.FairMbps = append(r.FairMbps, alloc.Totals[1])
+	}
+
+	duration := sim.Time(epochs) * epochDur
+	for _, p := range Fig7Protocols {
+		res := Run(Spec{
+			Seed: cfg.Seed, Duration: duration, Warmup: 0,
+			Topo:  topo.Fig3c(),
+			Proto: p,
+			Tweak: func(n *topo.Net) {
+				for i, c := range conds {
+					c := c
+					n.Eng.At(sim.Time(i)*epochDur, func() {
+						l := n.Link("link1")
+						l.SetRate(c.bw)
+						l.SetDelay(c.lat)
+						l.SetLoss(c.loss)
+					})
+				}
+			},
+		})
+		mpSeries := res.Flows["mp"].SubflowSeries[0] // subflow on link1
+		spSeries := res.Flows["sp"].Series
+		bucketsPerEpoch := int(epochDur / (100 * sim.Millisecond))
+		var mp, sp []float64
+		var trackErr, fairErr float64
+		for i := 0; i < epochs; i++ {
+			// Skip the first half of each epoch (adaptation transient).
+			lo := i*bucketsPerEpoch + bucketsPerEpoch/2
+			hi := (i + 1) * bucketsPerEpoch
+			mp = append(mp, meanWindowMbps(mpSeries, lo, hi))
+			sp = append(sp, meanWindowMbps(spSeries, lo, hi))
+			trackErr += abs(mp[i] - r.OptMbps[i])
+			fairErr += abs(sp[i] - r.FairMbps[i])
+		}
+		r.MPSubflow[p] = mp
+		r.SPGoodput[p] = sp
+		r.TrackError[p] = trackErr / float64(epochs)
+		r.FairError[p] = fairErr / float64(epochs)
+	}
+	return r
+}
+
+// Fig7Table renders the Fig. 7 tracking comparison.
+func (r *ChangingResult) Fig7Table() *Table {
+	t := &Table{
+		Title:  "Fig 7 — multipath subflow on changing link 1 vs optimum, Mbps",
+		Header: append([]string{"epoch", "OPT"}, protoNamesFromKeys(r.MPSubflow)...),
+	}
+	names := protoNamesFromKeys(r.MPSubflow)
+	for i := range r.Epochs {
+		row := []string{fmt.Sprint(i), fmt.Sprintf("%.1f", r.OptMbps[i])}
+		for _, n := range names {
+			row = append(row, fmt.Sprintf("%.1f", r.MPSubflow[Protocol(n)][i]))
+		}
+		t.AddRow(row...)
+	}
+	tr := []string{"mean |err|", "0.0"}
+	for _, n := range names {
+		tr = append(tr, fmt.Sprintf("%.1f", r.TrackError[Protocol(n)]))
+	}
+	t.AddRow(tr...)
+	return t
+}
+
+// Fig8Table renders the Fig. 8 fair-share comparison.
+func (r *ChangingResult) Fig8Table() *Table {
+	t := &Table{
+		Title:  "Fig 8 — single-path flow vs LMMF fair share under changing conditions, Mbps",
+		Header: append([]string{"epoch", "FAIR"}, protoNamesFromKeys(r.SPGoodput)...),
+	}
+	names := protoNamesFromKeys(r.SPGoodput)
+	for i := range r.Epochs {
+		row := []string{fmt.Sprint(i), fmt.Sprintf("%.1f", r.FairMbps[i])}
+		for _, n := range names {
+			row = append(row, fmt.Sprintf("%.1f", r.SPGoodput[Protocol(n)][i]))
+		}
+		t.AddRow(row...)
+	}
+	tr := []string{"mean |err|", "0.0"}
+	for _, n := range names {
+		tr = append(tr, fmt.Sprintf("%.1f", r.FairError[Protocol(n)]))
+	}
+	t.AddRow(tr...)
+	return t
+}
+
+// ConvergenceTrace reproduces Fig. 11: per-subflow rate timeseries of
+// MPCC-latency and Balia on topology 3c, plus a rate-jitter summary (the
+// paper's "comparable convergence rates, lower rate-jitter").
+func ConvergenceTrace(cfg Config) *Table {
+	t := &Table{
+		Title:  "Fig 11 — convergence on topology 3c: steady-state mean (Mbps) and jitter (stddev, Mbps)",
+		Header: []string{"protocol", "flow", "mean", "jitter"},
+	}
+	for _, p := range []Protocol{MPCCLatency, Balia} {
+		res := Run(Spec{
+			Seed: cfg.Seed, Duration: cfg.Duration, Warmup: cfg.Warmup,
+			Topo: topo.Fig3c(), Proto: p,
+		})
+		warmBuckets := int(cfg.Warmup / (100 * sim.Millisecond))
+		for _, flow := range []string{"mp", "sp"} {
+			fr := res.Flows[flow]
+			if flow == "mp" {
+				for si, series := range fr.SubflowSeries {
+					post := tailMbps(series, warmBuckets)
+					t.AddRow(string(p), fmt.Sprintf("mp-sf%d", si+1),
+						fmt.Sprintf("%.1f", stats.Mean(post)), fmt.Sprintf("%.1f", stats.Stddev(post)))
+				}
+				continue
+			}
+			post := tailMbps(fr.Series, warmBuckets)
+			t.AddRow(string(p), flow,
+				fmt.Sprintf("%.1f", stats.Mean(post)), fmt.Sprintf("%.1f", stats.Stddev(post)))
+		}
+	}
+	return t
+}
+
+func tailMbps(series []float64, from int) []float64 {
+	if from >= len(series) {
+		return nil
+	}
+	out := make([]float64, 0, len(series)-from)
+	for _, v := range series[from:] {
+		out = append(out, v/1e6)
+	}
+	return out
+}
+
+func meanWindowMbps(series []float64, lo, hi int) float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(series) {
+		hi = len(series)
+	}
+	if lo >= hi {
+		return 0
+	}
+	return stats.Mean(series[lo:hi]) / 1e6
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func protoNamesFromKeys(m map[Protocol][]float64) []string {
+	var out []string
+	for _, p := range Fig7Protocols {
+		if _, ok := m[p]; ok {
+			out = append(out, string(p))
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"fmt"
+
+	"mpcc/internal/netem"
+	"mpcc/internal/sim"
+	"mpcc/internal/stats"
+	"mpcc/internal/topo"
+	"mpcc/internal/transport"
+)
+
+// WebWorkload is an extension beyond the paper's evaluation (§9 calls for
+// "additional measurements of MPCC's performance under other traffic
+// conditions"): web-like traffic on the two-link access topology — one
+// long-lived multipath bulk transfer plus a Poisson arrival process of
+// short multipath downloads — measuring both the background goodput and the
+// short flows' completion times.
+func WebWorkload(cfg Config) *Table {
+	t := &Table{
+		Title:  "Extension §9 — web-like short flows over a busy access link (topology 3b links)",
+		Header: []string{"protocol", "bulk_Mbps", "short_done", "fct_median_ms", "fct_p95_ms"},
+		Notes: []string{
+			"short flows: 100 KB multipath downloads arriving every 400 ms",
+			"the paper predicts MPCC trades short-flow FCT for long-flow throughput (§7.4)",
+		},
+	}
+	for _, p := range []Protocol{MPCCLatency, MPCCLoss, LIA, OLIA, Balia} {
+		bulkMbps, done, med, p95 := runWeb(cfg, p)
+		t.AddRow(string(p), fmt.Sprintf("%.1f", bulkMbps),
+			fmt.Sprint(done), fmt.Sprintf("%.0f", med*1e3), fmt.Sprintf("%.0f", p95*1e3))
+	}
+	return t
+}
+
+func runWeb(cfg Config, p Protocol) (bulkMbps float64, done int, median, p95 float64) {
+	eng := sim.NewEngine(cfg.Seed)
+	tp := topo.Fig3b()
+	net := tp.Build(eng)
+	paths := func() []*netem.Path {
+		return []*netem.Path{net.Path("link1"), net.Path("link2")}
+	}
+
+	bulk := Attach(eng, "bulk", p, paths(), AttachOptions{})
+	bulk.SetApp(transport.Bulk{}, nil)
+	bulk.Start(0)
+
+	var fcts []float64
+	interval := 400 * sim.Millisecond
+	id := 0
+	for at := sim.Second; at < cfg.Duration-sim.Second; at += interval {
+		id++
+		name := fmt.Sprintf("short-%d", id)
+		at := at
+		conn := Attach(eng, name, p, paths(), AttachOptions{})
+		conn.SetApp(transport.NewFile(100_000), func(fct sim.Time) {
+			fcts = append(fcts, fct.Seconds())
+		})
+		conn.Start(at)
+	}
+	eng.Run(cfg.Duration)
+	bulkMbps = bulk.MeanGoodputBps(cfg.Warmup, cfg.Duration) / 1e6
+	return bulkMbps, len(fcts), stats.Median(fcts), stats.Percentile(fcts, 95)
+}

@@ -1,0 +1,197 @@
+package exp
+
+import (
+	"mpcc/internal/netem"
+	"mpcc/internal/sim"
+	"mpcc/internal/stats"
+	"mpcc/internal/topo"
+	"mpcc/internal/transport"
+)
+
+// FlowSpec declares one connection of a run.
+type FlowSpec struct {
+	Name      string
+	Proto     Protocol
+	Paths     [][]string // link names per subflow
+	StartAt   sim.Time
+	FileBytes int64 // 0 = bulk
+	Attach    AttachOptions
+}
+
+// Spec declares one simulation run.
+type Spec struct {
+	Seed     int64
+	Duration sim.Time
+	Warmup   sim.Time // goodput measured after this offset (the paper omits 30 s)
+	Topo     *topo.Topology
+	// Tweak adjusts link parameters (buffer, loss, bandwidth) after the
+	// topology is built and may schedule mid-run changes on net.Eng.
+	Tweak func(net *topo.Net)
+	// Flows overrides the topology's flow list; when nil, Protos assigns a
+	// protocol to each topology flow: the multipath protocol to multipath
+	// flows and its SinglePathPeer to single-path ones.
+	Flows []FlowSpec
+	Proto Protocol // used when Flows is nil
+	// SPProto overrides the single-path peer protocol (Figs. 12–13 use Cubic).
+	SPProto Protocol
+}
+
+// FlowResult summarizes one connection after a run.
+type FlowResult struct {
+	GoodputBps float64 // post-warmup mean
+	// MinGoodputBps/MaxGoodputBps span the replicates of a RunAveraged
+	// (the paper's error bars); they equal GoodputBps for a single run.
+	MinGoodputBps     float64
+	MaxGoodputBps     float64
+	SubflowGoodputBps []float64
+	LatencyMean       float64 // seconds
+	LatencyStd        float64
+	FCT               sim.Time // -1 unless a File flow completed
+	// Series is the per-bucket goodput in bits/s (100 ms buckets from t=0).
+	Series []float64
+	// SubflowSeries is the same per subflow.
+	SubflowSeries [][]float64
+}
+
+// Result summarizes one run.
+type Result struct {
+	Flows map[string]*FlowResult
+	// Utilization is total post-warmup goodput over total link capacity.
+	Utilization float64
+	// Jain is Jain's fairness index over per-flow goodputs.
+	Jain float64
+	// Net gives Tweak-adjusted access to the built network (inspection).
+	Net *topo.Net
+}
+
+// flowsFor derives the flow specs from a topology and the spec's protocols.
+func (s *Spec) flowsFor() []FlowSpec {
+	if s.Flows != nil {
+		return s.Flows
+	}
+	sp := s.SPProto
+	if sp == "" {
+		sp = s.Proto.SinglePathPeer()
+	}
+	var out []FlowSpec
+	for _, f := range s.Topo.Flows {
+		p := s.Proto
+		if !f.Multipath() {
+			p = sp
+		}
+		out = append(out, FlowSpec{Name: f.Name, Proto: p, Paths: f.Paths})
+	}
+	return out
+}
+
+// Run executes the spec and summarizes it.
+func Run(s Spec) *Result {
+	eng := sim.NewEngine(s.Seed)
+	net := s.Topo.Build(eng)
+	if s.Tweak != nil {
+		s.Tweak(net)
+	}
+	flows := s.flowsFor()
+	conns := make(map[string]*transport.Connection, len(flows))
+	for _, f := range flows {
+		ps := buildPaths(net, f.Paths)
+		conn := Attach(eng, f.Name, f.Proto, ps, f.Attach)
+		if f.FileBytes > 0 {
+			conn.SetApp(transport.NewFile(f.FileBytes), nil)
+		} else {
+			conn.SetApp(transport.Bulk{}, nil)
+		}
+		conn.Start(f.StartAt)
+		conns[f.Name] = conn
+	}
+	eng.Run(s.Duration)
+
+	res := &Result{Flows: make(map[string]*FlowResult, len(conns)), Net: net}
+	var goodputs []float64
+	total := 0.0
+	for name, conn := range conns {
+		fr := &FlowResult{FCT: conn.FCT()}
+		fr.GoodputBps = conn.MeanGoodputBps(s.Warmup, s.Duration)
+		fr.MinGoodputBps, fr.MaxGoodputBps = fr.GoodputBps, fr.GoodputBps
+		_, fr.LatencyStd = conn.MeanLatency()
+		fr.LatencyMean = conn.MeanLatencySince(s.Warmup)
+		fr.Series = scale(conn.Goodput().Rates(), 8)
+		for _, sf := range conn.Subflows() {
+			fr.SubflowGoodputBps = append(fr.SubflowGoodputBps,
+				8*sf.Goodput().MeanRateSince(s.Warmup, s.Duration))
+			fr.SubflowSeries = append(fr.SubflowSeries, scale(sf.Goodput().Rates(), 8))
+		}
+		res.Flows[name] = fr
+		goodputs = append(goodputs, fr.GoodputBps)
+		total += fr.GoodputBps
+	}
+	if capacity := net.TotalCapacity(); capacity > 0 {
+		res.Utilization = total / capacity
+	}
+	res.Jain = stats.JainIndex(goodputs)
+	return res
+}
+
+func buildPaths(net *topo.Net, pathNames [][]string) []*netem.Path {
+	out := make([]*netem.Path, len(pathNames))
+	for i, names := range pathNames {
+		out[i] = net.Path(names...)
+	}
+	return out
+}
+
+func scale(xs []float64, f float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * f
+	}
+	return out
+}
+
+// RunAveraged runs the spec reps times with consecutive seeds and averages
+// per-flow goodputs, utilization and Jain index. Series and FCT come from
+// the first run.
+func RunAveraged(s Spec, reps int) *Result {
+	if reps < 1 {
+		reps = 1
+	}
+	var agg *Result
+	for r := 0; r < reps; r++ {
+		rs := s
+		rs.Seed = s.Seed + int64(r)*1000
+		res := Run(rs)
+		if agg == nil {
+			agg = res
+			continue
+		}
+		agg.Utilization += res.Utilization
+		agg.Jain += res.Jain
+		for name, fr := range res.Flows {
+			a := agg.Flows[name]
+			a.GoodputBps += fr.GoodputBps
+			if fr.GoodputBps < a.MinGoodputBps {
+				a.MinGoodputBps = fr.GoodputBps
+			}
+			if fr.GoodputBps > a.MaxGoodputBps {
+				a.MaxGoodputBps = fr.GoodputBps
+			}
+			a.LatencyMean += fr.LatencyMean
+			a.LatencyStd += fr.LatencyStd
+			for i := range a.SubflowGoodputBps {
+				a.SubflowGoodputBps[i] += fr.SubflowGoodputBps[i]
+			}
+		}
+	}
+	n := float64(reps)
+	agg.Utilization /= n
+	agg.Jain /= n
+	for _, fr := range agg.Flows {
+		fr.GoodputBps /= n
+		fr.LatencyMean /= n
+		fr.LatencyStd /= n
+		for i := range fr.SubflowGoodputBps {
+			fr.SubflowGoodputBps[i] /= n
+		}
+	}
+	return agg
+}

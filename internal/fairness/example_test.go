@@ -1,0 +1,39 @@
+package fairness_test
+
+import (
+	"fmt"
+
+	"mpcc/internal/fairness"
+)
+
+// The Fig. 1 network: a single-path connection on link 0 and a 3-subflow
+// multipath connection on links 0, 1 and 2, all 100 Mbps. The LMMF outcome
+// is Fig. 1c: 100 Mbps for the single-path connection and 200 Mbps for the
+// multipath one — not the suboptimal max-min allocation of Fig. 1b.
+func ExampleLMMF() {
+	n := &fairness.Network{
+		Capacity: []float64{100, 100, 100},
+		Conns:    [][]int{{0}, {0, 1, 2}},
+	}
+	alloc, err := fairness.LMMF(n)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("single-path: %.0f Mbps\n", alloc.Totals[0])
+	fmt.Printf("multipath:   %.0f Mbps\n", alloc.Totals[1])
+	// Output:
+	// single-path: 100 Mbps
+	// multipath:   200 Mbps
+}
+
+func ExampleVerify() {
+	n := &fairness.Network{
+		Capacity: []float64{100, 100},
+		Conns:    [][]int{{0, 1}, {1}},
+	}
+	fmt.Println(fairness.Verify(n, []float64{100, 100}, 0.5) == nil)
+	fmt.Println(fairness.Verify(n, []float64{150, 50}, 0.5) == nil)
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,300 @@
+// Package fairness computes lexicographic max-min fair (LMMF) allocations
+// on parallel-link networks — the fairness notion MPCC's equilibria achieve
+// (Theorems 4.1, 5.1, 5.2) — and provides the reference "OPT" and fair-share
+// lines of Figs. 7 and 8.
+//
+// A parallel-link network (§4.2) is a set of bottleneck links with
+// capacities, and connections each owning a subset of the links (one subflow
+// per link; multiple subflows of one connection on the same link behave as
+// one, per the Appendix C observation). An allocation assigns each
+// connection a rate on each of its links, subject to link capacities. The
+// LMMF allocation maximizes the worst-off connection's total, then the
+// second worst, and so on.
+package fairness
+
+import (
+	"fmt"
+	"math"
+)
+
+// Network is a parallel-link network instance.
+type Network struct {
+	// Capacity holds each link's capacity (any consistent unit).
+	Capacity []float64
+	// Conns holds, per connection, the indices of the links it can use.
+	Conns [][]int
+}
+
+// Validate checks the network for out-of-range link references.
+func (n *Network) Validate() error {
+	for i, links := range n.Conns {
+		if len(links) == 0 {
+			return fmt.Errorf("fairness: connection %d has no links", i)
+		}
+		seen := make(map[int]bool)
+		for _, l := range links {
+			if l < 0 || l >= len(n.Capacity) {
+				return fmt.Errorf("fairness: connection %d references link %d (have %d links)", i, l, len(n.Capacity))
+			}
+			if seen[l] {
+				return fmt.Errorf("fairness: connection %d lists link %d twice", i, l)
+			}
+			seen[l] = true
+		}
+	}
+	return nil
+}
+
+// Allocation is the result of an LMMF computation.
+type Allocation struct {
+	// Totals is each connection's total rate.
+	Totals []float64
+	// PerLink[i][j] is connection i's rate on its j-th listed link.
+	PerLink [][]float64
+}
+
+const eps = 1e-9
+
+// LMMF computes the lexicographic max-min fair allocation by progressive
+// filling: it repeatedly finds the largest common rate every still-unfrozen
+// connection can be guaranteed simultaneously (via a max-flow feasibility
+// test), freezes the connections that are saturated at that level, and
+// recurses on the rest.
+func LMMF(n *Network) (*Allocation, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	nc := len(n.Conns)
+	totals := make([]float64, nc)
+	frozen := make([]bool, nc)
+
+	sumCap := 0.0
+	for _, c := range n.Capacity {
+		sumCap += c
+	}
+
+	for remaining := nc; remaining > 0; {
+		// Binary search the largest uniform level t for unfrozen connections.
+		lo, hi := 0.0, sumCap
+		for it := 0; it < 100 && hi-lo > eps*(1+hi); it++ {
+			mid := (lo + hi) / 2
+			if feasible(n, demandAt(totals, frozen, mid)) {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		// Shave the level below the max-flow feasibility tolerance so the
+		// frozen demands remain strictly feasible in later rounds.
+		level := lo - 1e-5*(1+lo)
+		if level < 0 {
+			level = 0
+		}
+		// Freeze every unfrozen connection that cannot go above the level.
+		progress := false
+		slack := math.Max(1e-3, level*1e-4)
+		for i := 0; i < nc; i++ {
+			if frozen[i] {
+				continue
+			}
+			probe := demandAt(totals, frozen, level)
+			probe[i] += slack * 2
+			if !feasible(n, probe) {
+				frozen[i] = true
+				totals[i] = level
+				progress = true
+				remaining--
+			}
+		}
+		if !progress {
+			// Numerical corner: everything can still grow jointly. Freeze
+			// all at the level (they are jointly limited).
+			for i := 0; i < nc; i++ {
+				if !frozen[i] {
+					frozen[i] = true
+					totals[i] = level
+					remaining--
+				}
+			}
+		}
+	}
+
+	per, ok := route(n, totals)
+	if !ok {
+		// Round totals down a hair to absorb float slack and re-route.
+		for i := range totals {
+			totals[i] *= 1 - 1e-9
+		}
+		per, _ = route(n, totals)
+	}
+	return &Allocation{Totals: totals, PerLink: per}, nil
+}
+
+// demandAt builds the per-connection demand vector with unfrozen
+// connections at the given level.
+func demandAt(totals []float64, frozen []bool, level float64) []float64 {
+	d := make([]float64, len(totals))
+	for i := range d {
+		if frozen[i] {
+			d[i] = totals[i]
+		} else {
+			d[i] = level
+		}
+	}
+	return d
+}
+
+// feasible reports whether each connection i can be assigned demand[i] in
+// total across its links without exceeding any capacity, via max-flow.
+func feasible(n *Network, demand []float64) bool {
+	total := 0.0
+	for _, d := range demand {
+		total += d
+	}
+	return maxflow(n, demand) >= total-1e-6*(1+total)
+}
+
+// route returns a per-link split realizing the given totals, and whether the
+// totals were fully routable.
+func route(n *Network, totals []float64) ([][]float64, bool) {
+	g := buildGraph(n, totals)
+	g.run()
+	per := make([][]float64, len(n.Conns))
+	routed := 0.0
+	for i, links := range n.Conns {
+		per[i] = make([]float64, len(links))
+		for j := range links {
+			f := g.flowOn(i, j)
+			per[i][j] = f
+			routed += f
+		}
+	}
+	want := 0.0
+	for _, t := range totals {
+		want += t
+	}
+	return per, routed >= want-1e-6*(1+want)
+}
+
+func maxflow(n *Network, demand []float64) float64 {
+	g := buildGraph(n, demand)
+	return g.run()
+}
+
+// ---- tiny Edmonds-Karp max-flow on the bipartite routing graph ----
+
+type edge struct {
+	to, rev int
+	cap     float64
+}
+
+type graph struct {
+	adj  [][]edge
+	s, t int
+	// connEdge[i][j] locates connection i's edge to its j-th link.
+	connEdge [][][2]int
+}
+
+func buildGraph(n *Network, demand []float64) *graph {
+	nc, nl := len(n.Conns), len(n.Capacity)
+	// nodes: 0..nc-1 conns, nc..nc+nl-1 links, s, t
+	s, t := nc+nl, nc+nl+1
+	g := &graph{adj: make([][]edge, nc+nl+2), s: s, t: t}
+	add := func(u, v int, c float64) [2]int {
+		g.adj[u] = append(g.adj[u], edge{to: v, rev: len(g.adj[v]), cap: c})
+		g.adj[v] = append(g.adj[v], edge{to: u, rev: len(g.adj[u]) - 1, cap: 0})
+		return [2]int{u, len(g.adj[u]) - 1}
+	}
+	for i, d := range demand {
+		add(s, i, d)
+	}
+	g.connEdge = make([][][2]int, nc)
+	for i, links := range n.Conns {
+		g.connEdge[i] = make([][2]int, len(links))
+		for j, l := range links {
+			g.connEdge[i][j] = add(i, nc+l, math.Inf(1))
+		}
+	}
+	for l, c := range n.Capacity {
+		add(nc+l, t, c)
+	}
+	return g
+}
+
+func (g *graph) run() float64 {
+	total := 0.0
+	for {
+		// BFS for an augmenting path.
+		parent := make([][2]int, len(g.adj)) // node -> (prevNode, edgeIdx)
+		for i := range parent {
+			parent[i] = [2]int{-1, -1}
+		}
+		parent[g.s] = [2]int{g.s, 0}
+		queue := []int{g.s}
+		for len(queue) > 0 && parent[g.t][0] < 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for ei, e := range g.adj[u] {
+				if e.cap > eps && parent[e.to][0] < 0 {
+					parent[e.to] = [2]int{u, ei}
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if parent[g.t][0] < 0 {
+			return total
+		}
+		// Find bottleneck.
+		aug := math.Inf(1)
+		for v := g.t; v != g.s; {
+			u, ei := parent[v][0], parent[v][1]
+			if g.adj[u][ei].cap < aug {
+				aug = g.adj[u][ei].cap
+			}
+			v = u
+		}
+		// Apply.
+		for v := g.t; v != g.s; {
+			u, ei := parent[v][0], parent[v][1]
+			g.adj[u][ei].cap -= aug
+			rev := g.adj[u][ei].rev
+			g.adj[v][rev].cap += aug
+			v = u
+		}
+		total += aug
+	}
+}
+
+// flowOn returns the flow on connection i's j-th link edge.
+func (g *graph) flowOn(i, j int) float64 {
+	u, ei := g.connEdge[i][j][0], g.connEdge[i][j][1]
+	e := g.adj[u][ei]
+	return g.adj[e.to][e.rev].cap // residual of reverse edge == flow
+}
+
+// IsFeasible reports whether an allocation of per-connection totals can be
+// routed on the network.
+func IsFeasible(n *Network, totals []float64) bool {
+	if n.Validate() != nil || len(totals) != len(n.Conns) {
+		return false
+	}
+	return feasible(n, totals)
+}
+
+// Verify checks that totals is (approximately) the LMMF allocation: it is
+// feasible and matches the solver's sorted totals within tol.
+func Verify(n *Network, totals []float64, tol float64) error {
+	want, err := LMMF(n)
+	if err != nil {
+		return err
+	}
+	if len(totals) != len(want.Totals) {
+		return fmt.Errorf("fairness: %d totals, want %d", len(totals), len(want.Totals))
+	}
+	for i := range totals {
+		if math.Abs(totals[i]-want.Totals[i]) > tol {
+			return fmt.Errorf("fairness: connection %d total %.4f, LMMF wants %.4f", i, totals[i], want.Totals[i])
+		}
+	}
+	return nil
+}

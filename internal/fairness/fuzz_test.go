@@ -1,0 +1,46 @@
+package fairness
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures the spec parser never panics and that anything it
+// accepts is a valid, solvable network.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"caps=100,100,100; conn=0; conn=0,1,2",
+		"caps=50,70; conn=0,1; conn=1",
+		"caps=1; conn=0",
+		"caps=; conn=",
+		"caps=1e9,2e9; conn=1,0",
+		"nonsense;;=;caps=x",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		if len(spec) > 4096 {
+			return
+		}
+		n, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid network: %v (spec %q)", err, spec)
+		}
+		// Cap problem size so the solver stays fast under fuzzing.
+		if len(n.Capacity) > 8 || len(n.Conns) > 8 {
+			return
+		}
+		a, err := LMMF(n)
+		if err != nil {
+			t.Fatalf("LMMF failed on parsed network: %v (spec %q)", err, spec)
+		}
+		for i, tot := range a.Totals {
+			if tot < -1e-6 || strings.Contains(spec, "\x00") && false {
+				t.Fatalf("negative total %v for conn %d", tot, i)
+			}
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package fairness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a Network from a compact textual spec:
+//
+//	"caps=100,100,100; conn=0; conn=0,1,2"
+//
+// declares three links of 100 (units are the caller's) and two connections,
+// the first on link 0 only, the second on all three. Whitespace is ignored.
+func Parse(spec string) (*Network, error) {
+	n := &Network{}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("fairness: bad clause %q (want key=v1,v2,...)", part)
+		}
+		key = strings.TrimSpace(key)
+		fields := strings.Split(val, ",")
+		switch key {
+		case "caps":
+			if n.Capacity != nil {
+				return nil, fmt.Errorf("fairness: duplicate caps clause")
+			}
+			for _, f := range fields {
+				c, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+				if err != nil {
+					return nil, fmt.Errorf("fairness: bad capacity %q: %v", f, err)
+				}
+				if c <= 0 {
+					return nil, fmt.Errorf("fairness: capacity must be positive, got %v", c)
+				}
+				n.Capacity = append(n.Capacity, c)
+			}
+		case "conn":
+			var links []int
+			for _, f := range fields {
+				l, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					return nil, fmt.Errorf("fairness: bad link index %q: %v", f, err)
+				}
+				links = append(links, l)
+			}
+			n.Conns = append(n.Conns, links)
+		default:
+			return nil, fmt.Errorf("fairness: unknown clause %q (want caps= or conn=)", key)
+		}
+	}
+	if len(n.Capacity) == 0 {
+		return nil, fmt.Errorf("fairness: no caps clause")
+	}
+	if len(n.Conns) == 0 {
+		return nil, fmt.Errorf("fairness: no conn clauses")
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,51 @@
+package fairness
+
+import "testing"
+
+func TestParseFig1(t *testing.T) {
+	n, err := Parse("caps=100,100,100; conn=0; conn=0,1,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Capacity) != 3 || len(n.Conns) != 2 {
+		t.Fatalf("parsed %+v", n)
+	}
+	a, err := LMMF(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Totals[1] < 199 {
+		t.Fatalf("totals %v", a.Totals)
+	}
+}
+
+func TestParseWhitespaceAndEmptyClauses(t *testing.T) {
+	n, err := Parse("  caps = 50 , 70 ;; conn = 0 , 1 ; ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Capacity[1] != 70 || len(n.Conns[0]) != 2 {
+		t.Fatalf("parsed %+v", n)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"caps=100",                   // no connections
+		"conn=0",                     // no caps
+		"caps=100; conn=1",           // out of range
+		"caps=100; conn=0,0",         // duplicate link
+		"caps=0; conn=0",             // non-positive capacity
+		"caps=abc; conn=0",           // bad number
+		"caps=100; conn=x",           // bad index
+		"caps=100; caps=100; conn=0", // duplicate caps
+		"caps=100; flows=0",          // unknown clause
+		"nonsense",                   // no '='
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) should fail", spec)
+		}
+	}
+}

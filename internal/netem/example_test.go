@@ -1,0 +1,35 @@
+package netem_test
+
+import (
+	"fmt"
+
+	"mpcc/internal/netem"
+	"mpcc/internal/sim"
+)
+
+// A 8 Mbps link with 10 ms propagation delay: a 1000-byte packet takes 1 ms
+// to serialize and arrives 11 ms after it was sent.
+func ExampleLink() {
+	eng := sim.NewEngine(1)
+	link := netem.NewLink(eng, "access", 8e6, 10*sim.Millisecond, 100_000)
+	path := netem.NewPath(eng, "p", link)
+
+	path.Send(1000, "hello", netem.SinkFunc(func(pkt *netem.Packet) {
+		fmt.Printf("%v delivered at %v\n", pkt.Meta, eng.Now())
+	}), nil)
+	eng.Run(0)
+	// Output:
+	// hello delivered at 11ms
+}
+
+func ExamplePath_SendFeedback() {
+	eng := sim.NewEngine(1)
+	link := netem.NewLink(eng, "l", 8e6, 10*sim.Millisecond, 100_000)
+	path := netem.NewPath(eng, "p", link)
+	path.SendFeedback("ack", netem.SinkFunc(func(pkt *netem.Packet) {
+		fmt.Printf("%v at %v\n", pkt.Meta, eng.Now())
+	}))
+	eng.Run(0)
+	// Output:
+	// ack at 10ms
+}

@@ -1,0 +1,329 @@
+package netem
+
+import (
+	"math"
+	"testing"
+
+	"mpcc/internal/sim"
+)
+
+const mbps = 1e6
+
+func collector() (Sink, *[]*Packet) {
+	var got []*Packet
+	return SinkFunc(func(p *Packet) { got = append(got, p) }), &got
+}
+
+func TestLinkSerializationAndPropagation(t *testing.T) {
+	e := sim.NewEngine(1)
+	// 8 Mbps, 10 ms delay: a 1000-byte packet serializes in 1 ms.
+	l := NewLink(e, "l", 8*mbps, 10*sim.Millisecond, 100000)
+	p := NewPath(e, "p", l)
+	var deliveredAt sim.Time
+	sink := SinkFunc(func(*Packet) { deliveredAt = e.Now() })
+	p.Send(1000, nil, sink, nil)
+	e.Run(0)
+	want := 11 * sim.Millisecond
+	if deliveredAt != want {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+}
+
+func TestLinkQueueingBackToBack(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, "l", 8*mbps, 0, 1<<20)
+	p := NewPath(e, "p", l)
+	var times []sim.Time
+	sink := SinkFunc(func(*Packet) { times = append(times, e.Now()) })
+	for i := 0; i < 5; i++ {
+		p.Send(1000, nil, sink, nil)
+	}
+	e.Run(0)
+	if len(times) != 5 {
+		t.Fatalf("delivered %d, want 5", len(times))
+	}
+	for i, at := range times {
+		want := sim.Time(i+1) * sim.Millisecond
+		if at != want {
+			t.Fatalf("packet %d delivered at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestLinkDropTail(t *testing.T) {
+	e := sim.NewEngine(1)
+	// Buffer of 2000 bytes: 1 packet in service + 2 queued fit; the rest drop.
+	l := NewLink(e, "l", 8*mbps, 0, 2000)
+	p := NewPath(e, "p", l)
+	sink, got := collector()
+	drops := 0
+	var reason DropReason
+	onDrop := func(_ *Packet, r DropReason) { drops++; reason = r }
+	for i := 0; i < 6; i++ {
+		p.Send(1000, nil, sink, onDrop)
+	}
+	e.Run(0)
+	if len(*got) != 3 {
+		t.Fatalf("delivered %d, want 3", len(*got))
+	}
+	if drops != 3 {
+		t.Fatalf("drops = %d, want 3", drops)
+	}
+	if reason != DropQueueFull {
+		t.Fatalf("reason = %v, want queue-full", reason)
+	}
+	st := l.Stats()
+	if st.DropsQueueFull != 3 || st.EnqueuedPackets != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLinkRandomLoss(t *testing.T) {
+	e := sim.NewEngine(42)
+	l := NewLink(e, "l", 1000*mbps, 0, 1<<30)
+	l.SetLoss(0.10)
+	p := NewPath(e, "p", l)
+	sink, got := collector()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		p.Send(100, nil, sink, nil)
+	}
+	e.Run(0)
+	lossRate := 1 - float64(len(*got))/n
+	if math.Abs(lossRate-0.10) > 0.01 {
+		t.Fatalf("observed loss %.4f, want ≈0.10", lossRate)
+	}
+	if l.Stats().DropsRandom == 0 {
+		t.Fatal("no random drops counted")
+	}
+}
+
+func TestLinkConservation(t *testing.T) {
+	// Property: delivered + dropped == sent, for a randomized pattern.
+	e := sim.NewEngine(7)
+	l := NewLink(e, "l", 10*mbps, sim.Millisecond, 5000)
+	l.SetLoss(0.05)
+	p := NewPath(e, "p", l)
+	delivered, dropped := 0, 0
+	sink := SinkFunc(func(*Packet) { delivered++ })
+	onDrop := func(*Packet, DropReason) { dropped++ }
+	const n = 5000
+	for i := 0; i < n; i++ {
+		at := sim.Time(e.Rand().Int63n(int64(sim.Second)))
+		e.At(at, func() { p.Send(1200, nil, sink, onDrop) })
+	}
+	e.Run(0)
+	if delivered+dropped != n {
+		t.Fatalf("conservation violated: %d delivered + %d dropped != %d", delivered, dropped, n)
+	}
+	if l.QueuedBytes() != 0 {
+		t.Fatalf("residual queue %d bytes", l.QueuedBytes())
+	}
+}
+
+func TestLinkThroughputMatchesRate(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, "l", 100*mbps, 10*sim.Millisecond, 1<<20)
+	p := NewPath(e, "p", l)
+	deliveredBytes := 0
+	sink := SinkFunc(func(pk *Packet) {
+		if e.Now() <= sim.Second {
+			deliveredBytes += pk.Size
+		}
+	})
+	// Offer 200 Mbps for 1 second; the link should deliver ≈100 Mbit.
+	var send func()
+	sent := 0
+	interval := sim.FromSeconds(1500 * 8 / (200 * mbps))
+	send = func() {
+		p.Send(1500, nil, sink, nil)
+		sent++
+		if e.Now() < sim.Second {
+			e.After(interval, send)
+		}
+	}
+	e.At(0, send)
+	e.Run(2 * sim.Second)
+	gotMbps := float64(deliveredBytes) * 8 / 1e6
+	if math.Abs(gotMbps-100) > 2 {
+		t.Fatalf("delivered %.1f Mbit in 1s, want ≈100", gotMbps)
+	}
+}
+
+func TestMultiLinkPath(t *testing.T) {
+	e := sim.NewEngine(1)
+	l1 := NewLink(e, "l1", 8*mbps, 5*sim.Millisecond, 1<<20)
+	l2 := NewLink(e, "l2", 8*mbps, 7*sim.Millisecond, 1<<20)
+	p := NewPath(e, "p", l1, l2)
+	var at sim.Time
+	p.Send(1000, nil, SinkFunc(func(*Packet) { at = e.Now() }), nil)
+	e.Run(0)
+	want := 2*sim.Millisecond + 12*sim.Millisecond // two serializations + two props
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+	if p.PropDelay() != 12*sim.Millisecond {
+		t.Fatalf("PropDelay = %v", p.PropDelay())
+	}
+	if p.BaseRTT() != 24*sim.Millisecond {
+		t.Fatalf("BaseRTT = %v", p.BaseRTT())
+	}
+	if p.BottleneckRate() != 8*mbps {
+		t.Fatalf("BottleneckRate = %v", p.BottleneckRate())
+	}
+}
+
+func TestPathExtraAndReverseDelay(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, "l", 8*mbps, 10*sim.Millisecond, 1<<20)
+	p := NewPath(e, "p", l)
+	p.SetExtraDelay(3 * sim.Millisecond)
+	if p.PropDelay() != 13*sim.Millisecond {
+		t.Fatalf("PropDelay with extra = %v", p.PropDelay())
+	}
+	if p.ReverseDelay() != 13*sim.Millisecond {
+		t.Fatalf("default ReverseDelay = %v", p.ReverseDelay())
+	}
+	p.SetReverseDelay(20 * sim.Millisecond)
+	if p.ReverseDelay() != 20*sim.Millisecond {
+		t.Fatalf("overridden ReverseDelay = %v", p.ReverseDelay())
+	}
+	var at sim.Time
+	p.Send(1000, nil, SinkFunc(func(*Packet) { at = e.Now() }), nil)
+	e.Run(0)
+	if at != 14*sim.Millisecond { // 3ms extra + 1ms tx + 10ms prop
+		t.Fatalf("delivered at %v, want 14ms", at)
+	}
+}
+
+func TestSendFeedback(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, "l", 8*mbps, 10*sim.Millisecond, 1<<20)
+	p := NewPath(e, "p", l)
+	var at sim.Time
+	var meta any
+	e.At(5*sim.Millisecond, func() {
+		p.SendFeedback("ack", SinkFunc(func(pk *Packet) { at = e.Now(); meta = pk.Meta }))
+	})
+	e.Run(0)
+	if at != 15*sim.Millisecond {
+		t.Fatalf("feedback at %v, want 15ms", at)
+	}
+	if meta != "ack" {
+		t.Fatalf("meta = %v", meta)
+	}
+}
+
+func TestLinkParameterChanges(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, "l", 8*mbps, 10*sim.Millisecond, 1000)
+	l.SetRate(16 * mbps)
+	l.SetDelay(5 * sim.Millisecond)
+	l.SetBuffer(5000)
+	l.SetLoss(0.5)
+	if l.Rate() != 16*mbps || l.Delay() != 5*sim.Millisecond || l.Buffer() != 5000 || l.Loss() != 0.5 {
+		t.Fatal("setters not reflected in getters")
+	}
+	p := NewPath(e, "p", l)
+	var at sim.Time
+	// With 0 loss restored, a 1000B packet takes 0.5ms tx + 5ms prop.
+	l.SetLoss(0)
+	p.Send(1000, nil, SinkFunc(func(*Packet) { at = e.Now() }), nil)
+	e.Run(0)
+	if at != 5500*sim.Microsecond {
+		t.Fatalf("delivered at %v, want 5.5ms", at)
+	}
+}
+
+func TestBDPBytes(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, "l", 100*mbps, 30*sim.Millisecond, 0)
+	// 100 Mbps × 30 ms = 3 Mbit = 375000 bytes — the paper's default BDP.
+	if got := l.BDPBytes(); got != 375000 {
+		t.Fatalf("BDP = %d, want 375000", got)
+	}
+}
+
+func TestQueueingDelay(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, "l", 8*mbps, 0, 1<<20)
+	p := NewPath(e, "p", l)
+	sink, _ := collector()
+	p.Send(1000, nil, sink, nil) // occupies 1ms
+	if got := l.QueueingDelay(); got != sim.Millisecond {
+		t.Fatalf("QueueingDelay = %v, want 1ms", got)
+	}
+	e.Run(0)
+	if got := l.QueueingDelay(); got != 0 {
+		t.Fatalf("idle QueueingDelay = %v, want 0", got)
+	}
+}
+
+func TestLinkPanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero rate", func() { NewLink(e, "l", 0, 0, 0) })
+	mustPanic("neg buffer", func() { NewLink(e, "l", 1, 0, -1) })
+	l := NewLink(e, "l", 1, 0, 0)
+	mustPanic("bad loss", func() { l.SetLoss(1.5) })
+	mustPanic("bad rate", func() { l.SetRate(-1) })
+}
+
+func TestDropReasonString(t *testing.T) {
+	if DropQueueFull.String() != "queue-full" || DropRandom.String() != "random" {
+		t.Fatal("DropReason strings wrong")
+	}
+	if DropReason(9).String() == "" {
+		t.Fatal("unknown reason should still format")
+	}
+}
+
+func TestScheduleRates(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, "l", 10*mbps, 0, 1<<20)
+	stop := ScheduleRates(e, l, []RatePoint{
+		{At: 10 * sim.Millisecond, RateBps: 20 * mbps},
+		{At: 20 * sim.Millisecond, RateBps: 5 * mbps},
+	}, 30*sim.Millisecond)
+	e.Run(15 * sim.Millisecond)
+	if l.Rate() != 20*mbps {
+		t.Fatalf("rate at 15ms = %v", l.Rate())
+	}
+	e.Run(25 * sim.Millisecond)
+	if l.Rate() != 5*mbps {
+		t.Fatalf("rate at 25ms = %v", l.Rate())
+	}
+	// Looping: the first point re-applies at 40ms.
+	e.Run(45 * sim.Millisecond)
+	if l.Rate() != 20*mbps {
+		t.Fatalf("rate at 45ms = %v (loop broken)", l.Rate())
+	}
+	stop()
+	e.Run(80 * sim.Millisecond)
+	if l.Rate() != 20*mbps {
+		t.Fatalf("rate changed after stop: %v", l.Rate())
+	}
+}
+
+func BenchmarkLinkForward(b *testing.B) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, "l", 1e12, sim.Millisecond, 1<<30)
+	p := NewPath(e, "p", l)
+	sink := SinkFunc(func(*Packet) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Send(1500, nil, sink, nil)
+		if i%1024 == 0 {
+			e.Run(e.Now() + sim.Millisecond)
+		}
+	}
+	e.Run(0)
+}

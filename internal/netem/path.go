@@ -1,0 +1,147 @@
+package netem
+
+import "mpcc/internal/sim"
+
+// Path is a unidirectional route through an ordered set of links, ending at
+// a sink, plus a delay-only reverse channel for feedback. One transport
+// subflow sends on exactly one Path.
+type Path struct {
+	Name  string
+	eng   *sim.Engine
+	links []*Link
+
+	// extraDelay adds fixed one-way delay not attributable to any shared
+	// link (e.g. last-mile latency private to this path).
+	extraDelay sim.Time
+
+	// reverseDelay is the feedback (ACK) one-way delay. If zero it defaults
+	// to the sum of forward propagation delays plus extraDelay.
+	reverseDelay sim.Time
+}
+
+// NewPath builds a path over links on engine eng.
+func NewPath(eng *sim.Engine, name string, links ...*Link) *Path {
+	return &Path{Name: name, eng: eng, links: links}
+}
+
+// SetExtraDelay adds a fixed path-private one-way delay.
+func (p *Path) SetExtraDelay(d sim.Time) { p.extraDelay = d }
+
+// SetReverseDelay overrides the feedback delay; 0 restores the default
+// (the sum of forward propagation delays).
+func (p *Path) SetReverseDelay(d sim.Time) { p.reverseDelay = d }
+
+// Links returns the links composing the path.
+func (p *Path) Links() []*Link { return p.links }
+
+// PropDelay returns the total forward propagation delay (excluding queueing
+// and serialization).
+func (p *Path) PropDelay() sim.Time {
+	d := p.extraDelay
+	for _, l := range p.links {
+		d += l.delay
+	}
+	return d
+}
+
+// ReverseDelay returns the feedback one-way delay.
+func (p *Path) ReverseDelay() sim.Time {
+	if p.reverseDelay > 0 {
+		return p.reverseDelay
+	}
+	return p.PropDelay()
+}
+
+// BaseRTT returns the zero-queue round-trip time of the path.
+func (p *Path) BaseRTT() sim.Time { return p.PropDelay() + p.ReverseDelay() }
+
+// BottleneckRate returns the minimum link rate along the path in bits/s.
+func (p *Path) BottleneckRate() float64 {
+	if len(p.links) == 0 {
+		return 0
+	}
+	min := p.links[0].rateBps
+	for _, l := range p.links[1:] {
+		if l.rateBps < min {
+			min = l.rateBps
+		}
+	}
+	return min
+}
+
+// Send injects a packet of size bytes carrying meta onto the path. sink
+// receives it if it survives every link; onDrop (optional) is invoked if any
+// link drops it. The path-private extra delay is applied before the first
+// link.
+func (p *Path) Send(size int, meta any, sink Sink, onDrop func(*Packet, DropReason)) *Packet {
+	pkt := &Packet{
+		Size:   size,
+		SentAt: p.eng.Now(),
+		Meta:   meta,
+		hops:   p.links,
+		sink:   sink,
+		onDrop: onDrop,
+	}
+	if p.extraDelay > 0 {
+		p.eng.After(p.extraDelay, func() { pkt.forward() })
+	} else {
+		pkt.forward()
+	}
+	return pkt
+}
+
+// SendFeedback delivers meta to sink after the path's reverse delay. It is
+// used for ACK traffic, which the emulator models as delay-only (see the
+// package comment).
+func (p *Path) SendFeedback(meta any, sink Sink) {
+	pkt := &Packet{Size: 0, SentAt: p.eng.Now(), Meta: meta, sink: sink}
+	p.eng.After(p.ReverseDelay(), func() { sink.Deliver(pkt) })
+}
+
+// onDrop is stored on the packet so transports learn about their own losses
+// immediately in tests; real senders infer loss from missing feedback.
+func (pkt *Packet) forward() {
+	if pkt.hop >= len(pkt.hops) {
+		if pkt.sink != nil {
+			pkt.sink.Deliver(pkt)
+		}
+		return
+	}
+	link := pkt.hops[pkt.hop]
+	pkt.hop++
+	link.enqueue(pkt)
+}
+
+// RatePoint pairs a virtual time offset with a link bandwidth, for
+// trace-driven links (e.g. cellular bandwidth traces).
+type RatePoint struct {
+	At      sim.Time
+	RateBps float64
+}
+
+// ScheduleRates applies a bandwidth trace to the link: each point's rate
+// takes effect at its time offset. If loop > 0 the trace repeats with that
+// period indefinitely. The returned stop function cancels future changes.
+func ScheduleRates(eng *sim.Engine, l *Link, points []RatePoint, loop sim.Time) (stop func()) {
+	stopped := false
+	var apply func(base sim.Time)
+	apply = func(base sim.Time) {
+		for _, p := range points {
+			p := p
+			eng.At(base+p.At, func() {
+				if !stopped {
+					l.SetRate(p.RateBps)
+				}
+			})
+		}
+		if loop > 0 {
+			eng.At(base+loop, func() {
+				if !stopped {
+					apply(base + loop)
+				}
+			})
+		}
+	}
+	apply(eng.Now())
+	return func() { stopped = true }
+}

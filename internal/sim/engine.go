@@ -1,0 +1,187 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, a cancellable timer heap, and a seeded random source.
+//
+// All experiments in this repository run on a single Engine per simulation.
+// The engine is intentionally single-threaded: events execute one at a time
+// in (time, insertion-order) order, which makes every run bit-reproducible
+// for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It deliberately mirrors time.Duration's resolution so that
+// durations convert losslessly.
+type Time int64
+
+// Common conversions.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts t to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// FromDuration converts a time.Duration to a sim.Time offset.
+func FromDuration(d time.Duration) Time { return Time(d) }
+
+// FromSeconds converts seconds to virtual time, rounding to nanoseconds.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Timer is a handle to a scheduled callback. It may be stopped before it
+// fires; stopping an already-fired or already-stopped timer is a no-op.
+type Timer struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	index   int // heap index, -1 when not queued
+	stopped bool
+}
+
+// At reports the virtual time the timer is scheduled to fire.
+func (t *Timer) At() Time { return t.at }
+
+// Stop cancels the timer. It reports whether the timer was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stopped || t.index < 0 && t.fn == nil {
+		return false
+	}
+	pending := !t.stopped && t.fn != nil
+	t.stopped = true
+	return pending
+}
+
+// Stopped reports whether Stop was called before the timer fired.
+func (t *Timer) Stopped() bool { return t.stopped }
+
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	heap    timerHeap
+	rng     *rand.Rand
+	stopped bool
+	// Processed counts executed events, for diagnostics and benchmarks.
+	Processed uint64
+}
+
+// NewEngine returns an engine whose clock starts at 0 and whose random
+// source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// panics: it always indicates a logic error in a simulation component.
+func (e *Engine) At(at Time, fn func()) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
+	}
+	e.seq++
+	t := &Timer{at: at, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.heap, t)
+	return t
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) *Timer { return e.At(e.now+d, fn) }
+
+// Stop halts Run after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue is empty, the horizon is
+// reached, or Stop is called. The clock is left at the time of the last
+// executed event, or at horizon if the horizon was reached with events still
+// pending. A horizon of 0 means "run until idle".
+func (e *Engine) Run(horizon Time) {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		next := e.heap[0]
+		if horizon > 0 && next.at > horizon {
+			e.now = horizon
+			return
+		}
+		heap.Pop(&e.heap)
+		if next.stopped {
+			continue
+		}
+		e.now = next.at
+		fn := next.fn
+		next.fn = nil
+		e.Processed++
+		fn()
+	}
+	if horizon > 0 && e.now < horizon && len(e.heap) == 0 {
+		e.now = horizon
+	}
+}
+
+// Step executes the single next pending event, if any, and reports whether
+// one was executed.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		next := heap.Pop(&e.heap).(*Timer)
+		if next.stopped {
+			continue
+		}
+		e.now = next.at
+		fn := next.fn
+		next.fn = nil
+		e.Processed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Pending returns the number of queued (possibly stopped) timers.
+func (e *Engine) Pending() int { return len(e.heap) }

@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if Second != Time(time.Second) {
+		t.Fatalf("Second = %d, want %d", Second, time.Second)
+	}
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v, want 1.5s", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Fatalf("(2s).Seconds() = %v, want 2", got)
+	}
+	if got := FromDuration(30 * time.Millisecond); got != 30*Millisecond {
+		t.Fatalf("FromDuration = %v", got)
+	}
+	if got := (1500 * Millisecond).Duration(); got != 1500*time.Millisecond {
+		t.Fatalf("Duration() = %v", got)
+	}
+}
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []Time
+	for _, at := range []Time{50, 10, 30, 20, 40} {
+		at := at
+		e.At(at, func() { order = append(order, at) })
+	}
+	e.Run(0)
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if len(order) != 5 {
+		t.Fatalf("executed %d events, want 5", len(order))
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock = %v, want 50", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(200, func() { fired++ })
+	e.Run(100)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock stopped at %v, want horizon 100", e.Now())
+	}
+	e.Run(0)
+	if fired != 2 {
+		t.Fatalf("fired = %d after resume, want 2", fired)
+	}
+}
+
+func TestEngineHorizonAdvancesIdleClock(t *testing.T) {
+	e := NewEngine(1)
+	e.At(10, func() {})
+	e.Run(500)
+	if e.Now() != 500 {
+		t.Fatalf("idle clock = %v, want 500", e.Now())
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.At(40, func() {
+		e.After(5, func() { at = e.Now() })
+	})
+	e.Run(0)
+	if at != 45 {
+		t.Fatalf("After fired at %v, want 45", at)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.At(10, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer should report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	e.Run(0)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if !tm.Stopped() {
+		t.Fatal("Stopped() should be true")
+	}
+}
+
+func TestEngineStopMidRun(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		e.At(i, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(0)
+	if count != 3 {
+		t.Fatalf("executed %d, want 3 (Stop should halt)", count)
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.At(1, func() { n++ })
+	e.At(2, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("first Step: n=%d", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("second Step: n=%d", n)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue should report false")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run(0)
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		e := NewEngine(seed)
+		var out []int
+		var rec func()
+		n := 0
+		rec = func() {
+			out = append(out, e.Rand().Intn(1000))
+			n++
+			if n < 50 {
+				e.After(Time(1+e.Rand().Intn(100)), rec)
+			}
+		}
+		e.At(0, rec)
+		e.Run(0)
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+// Property: for any batch of events with random times, execution order is a
+// stable sort by time.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine(7)
+		type rec struct {
+			at  Time
+			idx int
+		}
+		var got []rec
+		for i, ti := range times {
+			at := Time(ti)
+			i := i
+			e.At(at, func() { got = append(got, rec{at, i}) })
+		}
+		e.Run(0)
+		if len(got) != len(times) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1].at > got[i].at {
+				return false
+			}
+			if got[i-1].at == got[i].at && got[i-1].idx > got[i].idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessedCounter(t *testing.T) {
+	e := NewEngine(1)
+	for i := Time(0); i < 10; i++ {
+		e.At(i, func() {})
+	}
+	stopped := e.At(11, func() {})
+	stopped.Stop()
+	e.Run(0)
+	if e.Processed != 10 {
+		t.Fatalf("Processed = %d, want 10", e.Processed)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1, tick)
+		}
+	}
+	b.ResetTimer()
+	e.At(0, tick)
+	e.Run(0)
+}

@@ -1,0 +1,184 @@
+// Package stats provides the small statistical toolkit used throughout the
+// MPCC reproduction: summary statistics, percentiles, Jain's fairness index,
+// least-squares slopes (for latency gradients), time-bucketed series, and
+// windowed min/max filters (for BBR).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 if len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It copies xs; the input is not
+// modified. An empty input yields 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// JainIndex returns Jain's fairness index of the allocation xs:
+// (Σx)² / (n·Σx²). It is 1 for a perfectly equal allocation and 1/n when a
+// single entity receives everything. An empty or all-zero allocation yields 0.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
+}
+
+// Slope returns the least-squares slope of ys regressed on xs. It returns 0
+// if fewer than two points are given or if all xs coincide. It is used to
+// compute the latency gradient d(RTT)/dT over a monitor interval.
+func Slope(xs, ys []float64) float64 {
+	s, _ := SlopeWithSE(xs, ys)
+	return s
+}
+
+// SlopeWithSE returns the least-squares slope and its standard error. The
+// standard error lets callers t-test whether a measured slope is
+// distinguishable from zero (the latency-gradient noise filter). It is 0
+// when it cannot be estimated (fewer than three points).
+func SlopeWithSE(xs, ys []float64) (slope, se float64) {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0, 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		num += dx * (ys[i] - my)
+		den += dx * dx
+	}
+	if den == 0 {
+		return 0, 0
+	}
+	slope = num / den
+	if n < 3 {
+		return slope, 0
+	}
+	var rss float64
+	intercept := my - slope*mx
+	for i := 0; i < n; i++ {
+		r := ys[i] - (intercept + slope*xs[i])
+		rss += r * r
+	}
+	se = math.Sqrt(rss / float64(n-2) / den)
+	return slope, se
+}
+
+// Summary bundles the descriptive statistics the paper reports.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	Min    float64
+	Max    float64
+	Stddev float64
+	P5     float64
+	P95    float64
+	P99    float64
+	P1     float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Median: Median(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		Stddev: Stddev(xs),
+		P5:     Percentile(xs, 5),
+		P95:    Percentile(xs, 95),
+		P99:    Percentile(xs, 99),
+		P1:     Percentile(xs, 1),
+	}
+}

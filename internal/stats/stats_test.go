@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanVarianceStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := Stddev(xs); got != 2 {
+		t.Fatalf("Stddev = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("empty/short-input cases should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty Min/Max should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {-5, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// interpolation
+	if got := Percentile([]float64{10, 20}, 50); !almost(got, 15, 1e-12) {
+		t.Fatalf("interpolated P50 = %v, want 15", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	// input must not be mutated
+	unsorted := []float64{3, 1, 2}
+	Percentile(unsorted, 50)
+	if unsorted[0] != 3 || unsorted[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Fatalf("Median = %v, want 3", got)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); !almost(got, 1, 1e-12) {
+		t.Fatalf("equal allocation Jain = %v, want 1", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); !almost(got, 0.25, 1e-12) {
+		t.Fatalf("single-winner Jain = %v, want 0.25", got)
+	}
+	if JainIndex(nil) != 0 || JainIndex([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate Jain should be 0")
+	}
+}
+
+// Property: Jain index is in [1/n, 1] for any non-negative non-zero allocation,
+// and scale-invariant.
+func TestQuickJainProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		nonzero := false
+		for i, v := range raw {
+			xs[i] = math.Abs(v)
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || xs[i] > 1e12 {
+				xs[i] = 1 // clamp pathological magnitudes to avoid float overflow in the test itself
+			}
+			if xs[i] > 0 {
+				nonzero = true
+			}
+		}
+		j := JainIndex(xs)
+		if !nonzero {
+			return j == 0
+		}
+		n := float64(len(xs))
+		if j < 1/n-1e-9 || j > 1+1e-9 {
+			return false
+		}
+		scaled := make([]float64, len(xs))
+		for i, v := range xs {
+			scaled[i] = v * 3.5
+		}
+		return almost(JainIndex(scaled), j, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlope(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7}
+	if got := Slope(xs, ys); !almost(got, 2, 1e-12) {
+		t.Fatalf("Slope = %v, want 2", got)
+	}
+	if Slope(xs, ys[:3]) != 0 {
+		t.Fatal("mismatched lengths should yield 0")
+	}
+	if Slope([]float64{1, 1}, []float64{0, 5}) != 0 {
+		t.Fatal("vertical data should yield 0")
+	}
+	if Slope([]float64{1}, []float64{2}) != 0 {
+		t.Fatal("single point should yield 0")
+	}
+}
+
+// Property: slope of an exact line y = a + b·x recovers b.
+func TestQuickSlopeRecoversLine(t *testing.T) {
+	f := func(a, b float64, n uint8) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		if math.Abs(a) > 1e6 || math.Abs(b) > 1e6 {
+			return true
+		}
+		m := int(n%20) + 2
+		xs := make([]float64, m)
+		ys := make([]float64, m)
+		for i := 0; i < m; i++ {
+			xs[i] = float64(i)
+			ys[i] = a + b*float64(i)
+		}
+		return almost(Slope(xs, ys), b, 1e-6*(1+math.Abs(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := Summarize(xs)
+	if s.N != 10 || s.Mean != 5.5 || s.Min != 1 || s.Max != 10 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if !almost(s.Median, 5.5, 1e-12) {
+		t.Fatalf("median = %v", s.Median)
+	}
+	if s.P5 >= s.Median || s.Median >= s.P95 {
+		t.Fatalf("percentile ordering broken: %+v", s)
+	}
+}

@@ -1,0 +1,188 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpcc/internal/fairness"
+	"mpcc/internal/sim"
+)
+
+func TestCanonicalTopologiesWellFormed(t *testing.T) {
+	all := []*Topology{Fig3a(), Fig3b(), Fig3c(), Fig3d(), Fig3e(), Fig4a(), Fig4b()}
+	for _, tp := range all {
+		eng := sim.NewEngine(1)
+		n := tp.Build(eng)
+		if len(n.LinkNames()) != len(tp.Links) {
+			t.Fatalf("%s: built %d links, want %d", tp.Name, len(n.LinkNames()), len(tp.Links))
+		}
+		for _, f := range tp.Flows {
+			for _, pathNames := range f.Paths {
+				p := n.Path(pathNames...)
+				if p.BottleneckRate() != DefaultRate {
+					t.Fatalf("%s/%s: bottleneck %v", tp.Name, f.Name, p.BottleneckRate())
+				}
+				if p.BaseRTT() != 2*DefaultDelay*sim.Time(len(pathNames)) {
+					t.Fatalf("%s/%s: base RTT %v", tp.Name, f.Name, p.BaseRTT())
+				}
+			}
+		}
+		if tp.ParallelLinkNet != nil {
+			if err := tp.ParallelLinkNet.Validate(); err != nil {
+				t.Fatalf("%s: parallel-link net invalid: %v", tp.Name, err)
+			}
+			if len(tp.ParallelLinkNet.Conns) != len(tp.Flows) {
+				t.Fatalf("%s: fairness net has %d conns, topology %d flows",
+					tp.Name, len(tp.ParallelLinkNet.Conns), len(tp.Flows))
+			}
+			if _, err := fairness.LMMF(tp.ParallelLinkNet); err != nil {
+				t.Fatalf("%s: LMMF failed: %v", tp.Name, err)
+			}
+		}
+	}
+}
+
+func TestConvergenceSuiteIsFig10Set(t *testing.T) {
+	suite := ConvergenceSuite()
+	if len(suite) != 5 {
+		t.Fatalf("suite has %d topologies, want 5", len(suite))
+	}
+	want := map[string]bool{
+		"3a-single-link-MP-SP": true, "3c-two-links-MP-SP": true,
+		"3d-two-links-MP-SP-SP": true, "3e-two-MP": true, "4b-LIA-ring": true,
+	}
+	for _, tp := range suite {
+		if !want[tp.Name] {
+			t.Fatalf("unexpected topology %s", tp.Name)
+		}
+	}
+}
+
+func TestNetHelpers(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := NewNet(eng)
+	n.AddLink("a", 50e6, 10*sim.Millisecond, 1000)
+	n.AddDefaultLink("b")
+	if n.TotalCapacity() != 150e6 {
+		t.Fatalf("TotalCapacity = %v", n.TotalCapacity())
+	}
+	p := n.Path("a", "b")
+	if p.BottleneckRate() != 50e6 {
+		t.Fatalf("bottleneck = %v", p.BottleneckRate())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate link should panic")
+		}
+	}()
+	n.AddLink("a", 1, 0, 0)
+}
+
+func TestNetUnknownLinkPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := NewNet(eng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown link should panic")
+		}
+	}()
+	n.Link("nope")
+}
+
+func TestClosPaths(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := NewClos(eng, DefaultClosConfig())
+	// Cross-ToR path traverses 4 links.
+	p := c.Path(0, 1, 0)
+	if len(p.Links()) != 4 {
+		t.Fatalf("cross-ToR path has %d links, want 4", len(p.Links()))
+	}
+	// Same-ToR hosts (0 and 4 with 4 ToRs) bypass the spine.
+	if c.ToROf(0) != c.ToROf(4) {
+		t.Fatalf("hosts 0 and 4 should share a ToR")
+	}
+	p2 := c.Path(0, 4, 1)
+	if len(p2.Links()) != 2 {
+		t.Fatalf("same-ToR path has %d links, want 2", len(p2.Links()))
+	}
+}
+
+func TestClosECMPSpreadsSubflows(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := NewClos(eng, DefaultClosConfig())
+	paths := c.SubflowPaths(0, 1, 3)
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths", len(paths))
+	}
+	// With 2 spines and 3 subflows, at least 2 distinct spine paths must be
+	// used across (src,dst) pairs in aggregate.
+	distinct := make(map[int]bool)
+	for src := 0; src < 6; src++ {
+		for dst := 0; dst < 6; dst++ {
+			if src == dst {
+				continue
+			}
+			for i := 0; i < 3; i++ {
+				distinct[c.ECMPSpine(src, dst, i)] = true
+			}
+		}
+	}
+	if len(distinct) < 2 {
+		t.Fatal("ECMP never uses the second spine")
+	}
+}
+
+func TestClosCapacity(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultClosConfig()
+	c := NewClos(eng, cfg)
+	wantLinks := float64(6+6+4*2*2) * cfg.LinkRateBps
+	if c.TotalCapacity() != wantLinks {
+		t.Fatalf("TotalCapacity = %v, want %v", c.TotalCapacity(), wantLinks)
+	}
+}
+
+func TestBuildWANAllPairs(t *testing.T) {
+	for _, home := range Homes {
+		for _, server := range Servers {
+			eng := sim.NewEngine(3)
+			wp := BuildWAN(eng, server, home, rand.New(rand.NewSource(1)))
+			if wp.WiFi.BaseRTT() <= 0 || wp.Cell.BaseRTT() <= 0 {
+				t.Fatalf("%s→%s: zero RTT", server, home)
+			}
+			// Cellular must be the higher-latency, lossier interface.
+			if wp.Cell.BaseRTT() <= wp.WiFi.BaseRTT() {
+				t.Fatalf("%s→%s: cell RTT %v ≤ wifi %v", server, home, wp.Cell.BaseRTT(), wp.WiFi.BaseRTT())
+			}
+			if wp.CellLink.Loss() <= wp.WiFiLink.Loss() {
+				t.Fatalf("%s→%s: cell loss not higher", server, home)
+			}
+		}
+	}
+}
+
+func TestBuildWANDistanceOrdering(t *testing.T) {
+	// Without jitter, Tokyo must be farther from Boston than Ohio.
+	eng := sim.NewEngine(1)
+	tokyo := BuildWAN(eng, "Tokyo", "Boston", nil)
+	ohio := BuildWAN(eng, "Ohio", "Boston", nil)
+	if tokyo.WiFi.BaseRTT() <= ohio.WiFi.BaseRTT() {
+		t.Fatal("Tokyo should have a longer RTT than Ohio from Boston")
+	}
+}
+
+func TestBuildWANUnknownPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	for _, tc := range []struct{ server, home string }{
+		{"Narnia", "Boston"}, {"Ohio", "Atlantis"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BuildWAN(%s,%s) should panic", tc.server, tc.home)
+				}
+			}()
+			BuildWAN(eng, tc.server, tc.home, nil)
+		}()
+	}
+}

@@ -1,0 +1,68 @@
+// Package trace serializes experiment results for external plotting: tables
+// and time series as CSV. The paper's figures are line plots over sweeps or
+// time; these writers emit exactly the series a plotting script needs.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mpcc/internal/sim"
+	"mpcc/internal/stats"
+)
+
+// WriteTableCSV writes header+rows as CSV.
+func WriteTableCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSeriesCSV writes one or more aligned time series. Column i of values
+// is labelled names[i]; the time column is seconds at bucket starts.
+func WriteSeriesCSV(w io.Writer, bucket sim.Time, names []string, series ...[]float64) error {
+	if len(names) != len(series) {
+		return fmt.Errorf("trace: %d names for %d series", len(names), len(series))
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"t_seconds"}, names...)); err != nil {
+		return err
+	}
+	maxLen := 0
+	for _, s := range series {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	row := make([]string, len(series)+1)
+	for i := 0; i < maxLen; i++ {
+		row[0] = strconv.FormatFloat((sim.Time(i) * bucket).Seconds(), 'f', 3, 64)
+		for j, s := range series {
+			if i < len(s) {
+				row[j+1] = strconv.FormatFloat(s[i], 'g', 6, 64)
+			} else {
+				row[j+1] = ""
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteStatsSeries writes a stats.Series as per-bucket rates.
+func WriteStatsSeries(w io.Writer, name string, s *stats.Series) error {
+	return WriteSeriesCSV(w, s.BucketWidth(), []string{name}, s.Rates())
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mpcc/internal/sim"
+	"mpcc/internal/stats"
+)
+
+func TestWriteTableCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteTableCSV(&b, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4,x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "a,b\n1,2\n") {
+		t.Fatalf("unexpected CSV:\n%s", out)
+	}
+	if !strings.Contains(out, `"4,x"`) {
+		t.Fatal("comma-containing cell not quoted")
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteSeriesCSV(&b, 100*sim.Millisecond,
+		[]string{"x", "y"}, []float64{1, 2, 3}, []float64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines: %v", len(lines), lines)
+	}
+	if lines[0] != "t_seconds,x,y" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0.000,1,10" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	// Shorter series pads with empty cells.
+	if lines[3] != "0.200,3," {
+		t.Fatalf("row 3 = %q", lines[3])
+	}
+}
+
+func TestWriteSeriesCSVMismatch(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSeriesCSV(&b, sim.Second, []string{"only"}, nil, nil); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestWriteStatsSeries(t *testing.T) {
+	s := stats.NewSeries(0, sim.Second)
+	s.Add(0, 5)
+	s.Add(sim.Second, 7)
+	var b strings.Builder
+	if err := WriteStatsSeries(&b, "rate", s); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "t_seconds,rate") || !strings.Contains(out, "0.000,5") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}

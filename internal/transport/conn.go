@@ -1,0 +1,322 @@
+package transport
+
+import (
+	"math"
+
+	"mpcc/internal/cc"
+	"mpcc/internal/netem"
+	"mpcc/internal/sim"
+	"mpcc/internal/stats"
+)
+
+// Defaults mirroring the paper's setup (§7.1): 1500-byte packets, effectively
+// unbounded send buffering (300 MB OS buffers), Linux's 200 ms minimum RTO.
+const (
+	DefaultMSS        = 1500
+	DefaultSndBufPkts = 4096
+	DefaultMinRTO     = 200 * sim.Millisecond
+	metricBucket      = 100 * sim.Millisecond
+)
+
+// Connection is a multipath transport connection: a set of subflows, a
+// scheduler apportioning application data among them, and metric collectors.
+type Connection struct {
+	Name string
+
+	eng        *sim.Engine
+	subflows   []*Subflow
+	sched      Scheduler
+	app        App
+	mss        int
+	sndBufPkts int
+	minRTO     sim.Time
+
+	ackEvery   int      // delayed ACKs: packets per ACK (default 1 = immediate)
+	ackTimeout sim.Time // delayed-ACK timer
+	rcvBuf     int64    // receive-buffer bytes (0 = unlimited, the paper's setup)
+	rcv        rangeSet // receiver-side reassembly state
+
+	started bool
+	pumping bool
+	startAt sim.Time
+	nextOff int64
+
+	// metrics
+	goodput    *stats.Series
+	ackedBytes int64
+	fileSize   int64
+	fct        sim.Time // -1 until the file completes
+	onComplete func(fct sim.Time)
+
+	latSum, latSumSq float64
+	latCount         int64
+	latSeries        *stats.Series // RTT·duration accumulator for averages
+	latCountSeries   *stats.Series
+}
+
+// ConnOption configures a Connection.
+type ConnOption func(*Connection)
+
+// WithMSS overrides the packet payload size.
+func WithMSS(mss int) ConnOption { return func(c *Connection) { c.mss = mss } }
+
+// WithSndBuf overrides the send-buffer cap, in packets of pending data.
+func WithSndBuf(pkts int) ConnOption { return func(c *Connection) { c.sndBufPkts = pkts } }
+
+// WithMinRTO overrides the minimum retransmission timeout (the data-center
+// experiments lower it, as DC stacks do).
+func WithMinRTO(d sim.Time) ConnOption { return func(c *Connection) { c.minRTO = d } }
+
+// WithDelayedAcks makes receivers acknowledge every n-th packet, or after
+// timeout if fewer arrive (RFC 1122-style delayed ACKs; the default is
+// per-packet acknowledgement).
+func WithDelayedAcks(n int, timeout sim.Time) ConnOption {
+	return func(c *Connection) { c.ackEvery, c.ackTimeout = n, timeout }
+}
+
+// WithRcvBuf bounds the receiver's reassembly buffer: a sender may not have
+// stream data beyond (in-order delivered + bytes) outstanding. The paper's
+// experiments disable flow control with 300 MB buffers (the default here is
+// unlimited); a finite buffer reproduces the §7.2.7 head-of-line effect
+// where losses on one subflow stall the whole connection.
+func WithRcvBuf(bytes int64) ConnOption {
+	return func(c *Connection) { c.rcvBuf = bytes }
+}
+
+// WithScheduler sets the multipath scheduler (default: RateScheduler with
+// the paper's 10% threshold for rate-based subflows, which also behaves
+// sensibly for window-based ones; use DefaultScheduler to reproduce the
+// kernel default).
+func WithScheduler(s Scheduler) ConnOption { return func(c *Connection) { c.sched = s } }
+
+// NewConnection creates an idle connection; add subflows, set an app, then
+// Start it.
+func NewConnection(eng *sim.Engine, name string, opts ...ConnOption) *Connection {
+	c := &Connection{
+		Name:       name,
+		eng:        eng,
+		mss:        DefaultMSS,
+		sndBufPkts: DefaultSndBufPkts,
+		minRTO:     DefaultMinRTO,
+		ackEvery:   1,
+		sched:      NewRateScheduler(0.10),
+		fct:        -1,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.goodput = stats.NewSeries(0, metricBucket)
+	c.latSeries = stats.NewSeries(0, metricBucket)
+	c.latCountSeries = stats.NewSeries(0, metricBucket)
+	return c
+}
+
+func (c *Connection) newSubflow(path *netem.Path) *Subflow {
+	s := &Subflow{
+		conn:    c,
+		id:      len(c.subflows),
+		path:    path,
+		goodput: stats.NewSeries(0, metricBucket),
+	}
+	c.subflows = append(c.subflows, s)
+	return s
+}
+
+// AddRateSubflow attaches a rate-based (paced) subflow on path.
+func (c *Connection) AddRateSubflow(path *netem.Path, rc cc.RateController) *Subflow {
+	if c.started {
+		panic("transport: AddRateSubflow after Start")
+	}
+	s := c.newSubflow(path)
+	s.rc = rc
+	return s
+}
+
+// AddWindowSubflow attaches a window-based (ACK-clocked) subflow on path.
+func (c *Connection) AddWindowSubflow(path *netem.Path, wc cc.WindowController) *Subflow {
+	if c.started {
+		panic("transport: AddWindowSubflow after Start")
+	}
+	s := c.newSubflow(path)
+	s.wc = wc
+	return s
+}
+
+// Subflows returns the connection's subflows.
+func (c *Connection) Subflows() []*Subflow { return c.subflows }
+
+// SetApp installs the data source. For File apps the completion time is
+// recorded and cb (optional) invoked.
+func (c *Connection) SetApp(app App, cb func(fct sim.Time)) {
+	c.app = app
+	c.onComplete = cb
+	if f, ok := app.(*File); ok {
+		c.fileSize = f.remaining
+	}
+}
+
+// Start schedules the connection to begin sending at the given virtual time.
+func (c *Connection) Start(at sim.Time) {
+	if len(c.subflows) == 0 {
+		panic("transport: Start with no subflows")
+	}
+	if c.app == nil {
+		c.app = Bulk{}
+	}
+	c.startAt = at
+	c.eng.At(at, func() {
+		for _, s := range c.subflows {
+			s.init()
+		}
+		c.started = true
+		c.pump()
+		for _, s := range c.subflows {
+			s.begin()
+		}
+	})
+}
+
+// pump assigns new application data to subflows according to the scheduler,
+// up to the send-buffer cap, kicking each recipient immediately so that
+// ACK-clocked subflows transmit as they are assigned (the kernel scheduler
+// runs per transmission opportunity). It is re-entrancy guarded: nested
+// calls from inside a kick are no-ops.
+func (c *Connection) pump() {
+	if !c.started || c.app == nil || c.pumping {
+		return
+	}
+	c.pumping = true
+	defer func() { c.pumping = false }()
+	for c.totalUnacked() < c.sndBufPkts && c.app.HasData() {
+		s := c.sched.Pick(c)
+		if s == nil {
+			return
+		}
+		n := c.app.Take(c.mss)
+		if n == 0 {
+			return
+		}
+		seg := &segment{off: c.nextOff, size: n}
+		c.nextOff += int64(n)
+		s.enqueue(seg)
+		// Kick immediately: kernel schedulers assign at transmission
+		// opportunity, so an ACK-clocked subflow transmits the segment
+		// right away and the next Pick sees updated in-flight state.
+		// (Nested pumps from inside the kick are no-ops via c.pumping.)
+		s.kick()
+	}
+}
+
+// totalUnacked counts data the send buffer is on the hook for: assigned but
+// unsent segments plus unresolved packets in flight. Bounding this (rather
+// than pending alone) mirrors a real socket's send buffer and guarantees the
+// pump terminates even under a runaway congestion window.
+func (c *Connection) totalUnacked() int {
+	t := 0
+	for _, s := range c.subflows {
+		t += len(s.pending) + s.inflightPkts
+	}
+	return t
+}
+
+// onDelivered is called exactly once per segment, at first acknowledgement.
+func (c *Connection) onDelivered(seg *segment, now sim.Time) {
+	c.ackedBytes += int64(seg.size)
+	c.goodput.Add(now, float64(seg.size))
+	if c.fileSize > 0 && c.fct < 0 && c.ackedBytes >= c.fileSize {
+		c.fct = now - c.startAt
+		if c.onComplete != nil {
+			c.onComplete(c.fct)
+		}
+	}
+}
+
+func (c *Connection) onRTTSample(now sim.Time, rtt sim.Time) {
+	sec := rtt.Seconds()
+	c.latSum += sec
+	c.latSumSq += sec * sec
+	c.latCount++
+	c.latSeries.Add(now, sec)
+	c.latCountSeries.Add(now, 1)
+}
+
+// rwndLimit returns the highest stream offset the receiver can accept.
+func (c *Connection) rwndLimit() int64 {
+	if c.rcvBuf <= 0 {
+		return math.MaxInt64
+	}
+	return c.rcv.contiguous() + c.rcvBuf
+}
+
+// onArrival records a data packet reaching the receiver (reassembly state).
+func (c *Connection) onArrival(off int64, size int) {
+	c.rcv.add(off, size)
+}
+
+// InOrderBytes returns how much of the stream the receiver has delivered to
+// the application in order.
+func (c *Connection) InOrderBytes() int64 { return c.rcv.contiguous() }
+
+// Goodput returns the connection's first-delivery byte series.
+func (c *Connection) Goodput() *stats.Series { return c.goodput }
+
+// AckedBytes returns total first-delivery bytes.
+func (c *Connection) AckedBytes() int64 { return c.ackedBytes }
+
+// FCT returns the flow completion time of a File transfer, or -1 if not
+// (yet) complete.
+func (c *Connection) FCT() sim.Time { return c.fct }
+
+// MeanGoodputBps returns the average goodput in bits/s between from and end,
+// mirroring the paper's habit of omitting a warmup prefix.
+func (c *Connection) MeanGoodputBps(from, end sim.Time) float64 {
+	return 8 * c.goodput.MeanRateSince(from, end)
+}
+
+// MeanLatency returns the average RTT over all samples, in seconds, with its
+// standard deviation.
+func (c *Connection) MeanLatency() (mean, stddev float64) {
+	if c.latCount == 0 {
+		return 0, 0
+	}
+	n := float64(c.latCount)
+	mean = c.latSum / n
+	v := c.latSumSq/n - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return mean, math.Sqrt(v)
+}
+
+// MeanLatencySince returns the average RTT in seconds over samples taken at
+// or after from (so warmup transients can be omitted, as with goodput).
+// Falls back to the all-time mean when no samples lie in the window.
+func (c *Connection) MeanLatencySince(from sim.Time) float64 {
+	sums := c.latSeries.RatesSince(from)
+	counts := c.latCountSeries.RatesSince(from)
+	var sum, count float64
+	for i := range sums {
+		sum += sums[i]
+		if i < len(counts) {
+			count += counts[i]
+		}
+	}
+	if count == 0 {
+		m, _ := c.MeanLatency()
+		return m
+	}
+	return sum / count
+}
+
+// LatencyTimeseries returns per-bucket average RTTs in seconds.
+func (c *Connection) LatencyTimeseries() []float64 {
+	sums := c.latSeries.Rates()
+	counts := c.latCountSeries.Rates()
+	out := make([]float64, len(sums))
+	for i := range sums {
+		if i < len(counts) && counts[i] > 0 {
+			out[i] = sums[i] / counts[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package transport
+
+import "testing"
+
+// FuzzRangeSet checks the reassembly set against a bitmap model for
+// arbitrary add sequences (each byte pair of the input encodes one add).
+func FuzzRangeSet(f *testing.F) {
+	f.Add([]byte{0, 10, 5, 10, 20, 3})
+	f.Add([]byte{100, 50, 0, 100})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			return
+		}
+		const universe = 512
+		var r rangeSet
+		model := make([]bool, universe)
+		for i := 0; i+1 < len(data); i += 2 {
+			off := int(data[i]) * 2 % universe
+			size := int(data[i+1])%48 + 1
+			if off+size > universe {
+				size = universe - off
+			}
+			r.add(int64(off), size)
+			for j := off; j < off+size; j++ {
+				model[j] = true
+			}
+		}
+		prefix := 0
+		for prefix < universe && model[prefix] {
+			prefix++
+		}
+		if r.contiguous() != int64(prefix) {
+			t.Fatalf("contiguous %d, model prefix %d (input %v)", r.contiguous(), prefix, data)
+		}
+		var buffered int64
+		for i := prefix; i < universe; i++ {
+			if model[i] {
+				buffered++
+			}
+		}
+		if r.buffered() != buffered {
+			t.Fatalf("buffered %d, model %d", r.buffered(), buffered)
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"mpcc/internal/cc"
+	"mpcc/internal/sim"
+	"mpcc/internal/stats"
+)
+
+// monitorInterval accumulates the statistics of one MI of a rate-based
+// subflow. An MI is "closed" when its time window ends (no more packets are
+// charged to it) and "resolved" when every packet sent in it has been acked
+// or declared lost; only then can its utility inputs be computed (§5.2).
+type monitorInterval struct {
+	seq        int
+	start, end sim.Time
+	rate       float64 // configured pacing rate, bits/s
+
+	sentBytes  int
+	ackedBytes int
+	lostBytes  int
+
+	outstanding int // packets sent in this MI not yet acked/lost
+	closed      bool
+
+	rttTimes []float64 // seconds since MI start, at send time
+	rttVals  []float64 // RTT sample in seconds
+	minRTT   sim.Time
+}
+
+func (mi *monitorInterval) onSend(bytes int) {
+	mi.sentBytes += bytes
+	mi.outstanding++
+}
+
+func (mi *monitorInterval) onAck(bytes int, sentAt sim.Time, rtt sim.Time) {
+	mi.ackedBytes += bytes
+	mi.outstanding--
+	mi.rttTimes = append(mi.rttTimes, (sentAt - mi.start).Seconds())
+	mi.rttVals = append(mi.rttVals, rtt.Seconds())
+	if mi.minRTT == 0 || rtt < mi.minRTT {
+		mi.minRTT = rtt
+	}
+}
+
+func (mi *monitorInterval) onLost(bytes int) {
+	mi.lostBytes += bytes
+	mi.outstanding--
+}
+
+func (mi *monitorInterval) resolved(now sim.Time) bool {
+	return mi.closed && mi.outstanding == 0 && now >= mi.end
+}
+
+// stats converts the accumulated counters into the controller-facing form.
+func (mi *monitorInterval) stats() cc.MIStats {
+	st := cc.MIStats{
+		Index:      mi.seq,
+		Start:      mi.start,
+		End:        mi.end,
+		TargetRate: mi.rate,
+		BytesSent:  mi.sentBytes,
+		BytesAcked: mi.ackedBytes,
+		BytesLost:  mi.lostBytes,
+		MinRTT:     mi.minRTT,
+	}
+	dur := (mi.end - mi.start).Seconds()
+	if mi.sentBytes == 0 || dur <= 0 {
+		st.Ignore = true
+		return st
+	}
+	st.SendRate = float64(mi.sentBytes) * 8 / dur
+	st.Goodput = float64(mi.ackedBytes) * 8 / dur
+	st.LossRate = float64(mi.lostBytes) / float64(mi.sentBytes)
+	if len(mi.rttVals) > 0 {
+		st.AvgRTT = sim.FromSeconds(stats.Mean(mi.rttVals))
+		st.RTTGradient, st.RTTGradientSE = stats.SlopeWithSE(mi.rttTimes, mi.rttVals)
+	}
+	return st
+}

@@ -1,0 +1,72 @@
+package transport
+
+import (
+	"math"
+	"testing"
+
+	"mpcc/internal/sim"
+)
+
+func TestMIStatsBasics(t *testing.T) {
+	mi := &monitorInterval{seq: 3, start: sim.Second, end: sim.Second + 100*sim.Millisecond, rate: 80e6}
+	mi.onSend(1500)
+	mi.onSend(1500)
+	mi.onSend(1500)
+	mi.onAck(1500, sim.Second+10*sim.Millisecond, 60*sim.Millisecond)
+	mi.onAck(1500, sim.Second+30*sim.Millisecond, 70*sim.Millisecond)
+	mi.onLost(1500)
+	mi.closed = true
+	if !mi.resolved(mi.end) {
+		t.Fatal("all packets resolved and past end — should be resolved")
+	}
+	st := mi.stats()
+	if st.Index != 3 || st.Ignore {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesSent != 4500 || st.BytesAcked != 3000 || st.BytesLost != 1500 {
+		t.Fatalf("byte counters %+v", st)
+	}
+	if math.Abs(st.LossRate-1.0/3) > 1e-9 {
+		t.Fatalf("LossRate = %v", st.LossRate)
+	}
+	if math.Abs(st.SendRate-4500*8/0.1) > 1 {
+		t.Fatalf("SendRate = %v", st.SendRate)
+	}
+	if st.MinRTT != 60*sim.Millisecond {
+		t.Fatalf("MinRTT = %v", st.MinRTT)
+	}
+	// RTT grows 10 ms over 20 ms of send time → slope 0.5 s/s.
+	if math.Abs(st.RTTGradient-0.5) > 1e-9 {
+		t.Fatalf("RTTGradient = %v", st.RTTGradient)
+	}
+	if st.AvgRTT != 65*sim.Millisecond {
+		t.Fatalf("AvgRTT = %v", st.AvgRTT)
+	}
+}
+
+func TestMIEmptyIsIgnored(t *testing.T) {
+	mi := &monitorInterval{start: 0, end: 30 * sim.Millisecond, rate: 10e6}
+	mi.closed = true
+	if !mi.resolved(mi.end) {
+		t.Fatal("empty closed MI should resolve at its end")
+	}
+	if st := mi.stats(); !st.Ignore {
+		t.Fatalf("empty MI not flagged Ignore: %+v", st)
+	}
+}
+
+func TestMIResolutionOrdering(t *testing.T) {
+	mi := &monitorInterval{start: 0, end: 30 * sim.Millisecond, rate: 10e6}
+	mi.onSend(1500)
+	mi.closed = true
+	if mi.resolved(mi.end) {
+		t.Fatal("MI with outstanding packets must not resolve")
+	}
+	mi.onAck(1500, 0, 30*sim.Millisecond)
+	if mi.resolved(20 * sim.Millisecond) {
+		t.Fatal("MI must not resolve before its end time")
+	}
+	if !mi.resolved(mi.end) {
+		t.Fatal("MI should resolve once acked and past end")
+	}
+}

@@ -1,0 +1,97 @@
+package transport
+
+// rangeSet tracks which byte ranges of the connection's stream have arrived
+// at the receiver: a sorted list of disjoint [start, end) intervals plus a
+// contiguous prefix pointer. It implements the receiver-side reassembly
+// state used for in-order delivery and receive-window accounting (§7.2.7).
+type rangeSet struct {
+	next      int64      // everything below next is contiguous ("rcv.nxt")
+	intervals []interval // out-of-order islands above next, sorted, disjoint
+}
+
+type interval struct{ start, end int64 }
+
+// add records the arrival of [off, off+size) and returns how far the
+// contiguous prefix advanced.
+func (r *rangeSet) add(off int64, size int) int64 {
+	if size <= 0 {
+		return 0
+	}
+	end := off + int64(size)
+	if end <= r.next {
+		return 0 // wholly duplicate
+	}
+	if off < r.next {
+		off = r.next
+	}
+	// Insert/merge into the island list.
+	r.insert(interval{off, end})
+	// Advance the contiguous prefix over any islands it now reaches.
+	before := r.next
+	for len(r.intervals) > 0 && r.intervals[0].start <= r.next {
+		if r.intervals[0].end > r.next {
+			r.next = r.intervals[0].end
+		}
+		r.intervals = r.intervals[1:]
+	}
+	return r.next - before
+}
+
+func (r *rangeSet) insert(iv interval) {
+	// Find the first island with start > iv.start.
+	lo, hi := 0, len(r.intervals)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.intervals[mid].start <= iv.start {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Merge left neighbour if overlapping/adjacent.
+	i := lo
+	if i > 0 && r.intervals[i-1].end >= iv.start {
+		i--
+		if r.intervals[i].end >= iv.end {
+			return // fully contained
+		}
+		iv.start = r.intervals[i].start
+	}
+	// Merge right neighbours.
+	j := i
+	for j < len(r.intervals) && r.intervals[j].start <= iv.end {
+		if r.intervals[j].end > iv.end {
+			iv.end = r.intervals[j].end
+		}
+		j++
+	}
+	r.intervals = append(r.intervals[:i], append([]interval{iv}, r.intervals[j:]...)...)
+}
+
+// contiguous returns the end of the in-order prefix (rcv.nxt).
+func (r *rangeSet) contiguous() int64 { return r.next }
+
+// buffered returns the number of out-of-order bytes held above the prefix.
+func (r *rangeSet) buffered() int64 {
+	var t int64
+	for _, iv := range r.intervals {
+		t += iv.end - iv.start
+	}
+	return t
+}
+
+// contains reports whether the byte at off has arrived.
+func (r *rangeSet) contains(off int64) bool {
+	if off < r.next {
+		return true
+	}
+	for _, iv := range r.intervals {
+		if off >= iv.start && off < iv.end {
+			return true
+		}
+		if iv.start > off {
+			break
+		}
+	}
+	return false
+}

@@ -1,0 +1,545 @@
+package transport
+
+import (
+	"fmt"
+
+	"mpcc/internal/cc"
+	"mpcc/internal/netem"
+	"mpcc/internal/sim"
+	"mpcc/internal/stats"
+)
+
+// pktRec is the sender-side record of one transmitted packet.
+type pktRec struct {
+	sf     *Subflow
+	seg    *segment
+	idx    uint64 // per-subflow send index (dup-threshold ordering)
+	size   int
+	sentAt sim.Time
+	acked  bool
+	lost   bool
+	mi     *monitorInterval
+	rto    *sim.Timer
+}
+
+// Subflow is one path-bound flow of a multipath connection. Exactly one of
+// the rate/window controllers is set.
+type Subflow struct {
+	conn *Connection
+	id   int
+	path *netem.Path
+
+	rc cc.RateController
+	wc cc.WindowController
+
+	// data queues
+	pending []*segment // assigned by the scheduler, unsent
+	retx    []*segment // lost segments awaiting retransmission
+
+	// in-flight tracking
+	outstanding   []*pktRec // send order; head entries may be resolved
+	outHead       int
+	inflightBytes int
+	inflightPkts  int
+	sendIdx       uint64
+
+	// RTT estimation
+	srtt, rttvar, rto sim.Time
+
+	running bool // set once begin() ran
+
+	// pacing state (rate-based)
+	curRate    float64
+	nextSend   sim.Time
+	pacerTimer *sim.Timer
+	pacerIdle  bool
+	capBlocked bool
+
+	// monitor intervals (rate-based)
+	openMIs []*monitorInterval
+	miSeq   int
+
+	// loss-event suppression (window-based): react at most once per
+	// window of data.
+	recoverIdx uint64
+
+	// receiver-side delayed-ACK state
+	rxPending []*pktRec
+	rxTimer   *sim.Timer
+
+	// metrics
+	goodput        *stats.Series // first-delivery bytes, bucketed
+	deliveredBytes int64
+	sentPkts       uint64
+	lostPkts       uint64
+	retxPkts       uint64
+}
+
+// ID returns the subflow's index within its connection.
+func (s *Subflow) ID() int { return s.id }
+
+// Path returns the netem path the subflow sends on.
+func (s *Subflow) Path() *netem.Path { return s.path }
+
+// SRTT returns the smoothed RTT estimate.
+func (s *Subflow) SRTT() sim.Time { return s.srtt }
+
+// Rate returns the current pacing rate (rate-based subflows; 0 otherwise).
+func (s *Subflow) Rate() float64 { return s.curRate }
+
+// CwndPkts returns the effective window in packets: the controller window
+// for window-based subflows, the inflight cap for rate-based ones (huge when
+// the controller sets none).
+func (s *Subflow) CwndPkts() float64 {
+	if s.wc != nil {
+		return s.wc.Cwnd()
+	}
+	if capper, ok := s.rc.(cc.InflightCapper); ok {
+		return capper.InflightCapBytes(s.conn.eng.Now(), s.srtt) / float64(s.conn.mss)
+	}
+	return 1e15
+}
+
+// InflightPkts returns the number of unresolved packets in flight.
+func (s *Subflow) InflightPkts() int { return s.inflightPkts }
+
+// PendingPkts returns the number of assigned-but-unsent segments.
+func (s *Subflow) PendingPkts() int { return len(s.pending) + len(s.retx) }
+
+// Goodput returns the subflow's first-delivery byte series.
+func (s *Subflow) Goodput() *stats.Series { return s.goodput }
+
+// DeliveredBytes returns total first-delivery bytes.
+func (s *Subflow) DeliveredBytes() int64 { return s.deliveredBytes }
+
+// LostPkts returns the number of packets declared lost.
+func (s *Subflow) LostPkts() uint64 { return s.lostPkts }
+
+// SentPkts returns the number of packet transmissions (including
+// retransmissions).
+func (s *Subflow) SentPkts() uint64 { return s.sentPkts }
+
+// enqueue hands the subflow a newly assigned segment.
+func (s *Subflow) enqueue(seg *segment) {
+	s.pending = append(s.pending, seg)
+}
+
+// init seeds the RTT estimators before any packet may be sent (as the
+// connection handshake would).
+func (s *Subflow) init() {
+	s.srtt = s.path.BaseRTT()
+	s.rttvar = s.srtt / 2
+	s.updateRTO()
+	if s.rc != nil {
+		// Until the first MI opens the subflow must not transmit.
+		s.pacerIdle = true
+	}
+}
+
+// begin starts the send machinery at the connection's start time.
+func (s *Subflow) begin() {
+	s.running = true
+	if s.rc != nil {
+		s.rollMI()
+		s.pacerIdle = false
+		s.pace()
+	} else {
+		s.trySend()
+	}
+}
+
+// kick resumes sending after new data arrives or capacity frees up.
+func (s *Subflow) kick() {
+	if !s.conn.started || (s.rc != nil && !s.running) {
+		return
+	}
+	if s.wc != nil {
+		s.trySend()
+		return
+	}
+	if s.pacerIdle {
+		s.pacerIdle = false
+		now := s.conn.eng.Now()
+		if s.nextSend <= now {
+			s.pace()
+		} else {
+			s.armPacer(s.nextSend)
+		}
+	} else if s.capBlocked {
+		s.capBlocked = false
+		s.pace()
+	}
+}
+
+// ---- rate-based sending ----
+
+// miMinPkts is the minimum number of packets an MI should cover so its
+// loss-rate measurement is meaningful at low rates.
+const miMinPkts = 10
+
+func (s *Subflow) miDuration(rate float64) sim.Time {
+	d := s.srtt
+	// The floor keeps statistics meaningful without chaining a data-center
+	// subflow (sub-millisecond RTT) to WAN decision cadences.
+	if d < sim.Millisecond {
+		d = sim.Millisecond
+	}
+	if rate > 0 {
+		pktTime := sim.FromSeconds(miMinPkts * float64(s.conn.mss) * 8 / rate)
+		if pktTime > d {
+			d = pktTime
+		}
+	}
+	if d > 500*sim.Millisecond {
+		d = 500 * sim.Millisecond
+	}
+	// ±5% jitter decorrelates sibling subflows' MI boundaries.
+	j := 0.95 + 0.1*s.conn.eng.Rand().Float64()
+	return sim.FromSeconds(d.Seconds() * j)
+}
+
+// rollMI closes the current MI (if any) and opens the next one at the rate
+// the controller chooses.
+func (s *Subflow) rollMI() {
+	now := s.conn.eng.Now()
+	if n := len(s.openMIs); n > 0 {
+		s.openMIs[n-1].closed = true
+	}
+	rate := s.rc.NextRate(now, s.srtt)
+	if rate < 1 {
+		rate = 1
+	}
+	s.curRate = rate
+	mi := &monitorInterval{seq: s.miSeq, start: now, end: now + s.miDuration(rate), rate: rate}
+	s.miSeq++
+	s.openMIs = append(s.openMIs, mi)
+	s.conn.eng.At(mi.end, func() {
+		if len(s.openMIs) > 0 && s.openMIs[len(s.openMIs)-1] == mi {
+			s.rollMI()
+			s.finalizeMIs()
+			// A rate change moves the next send time; also resume an idle
+			// pacer if data arrived without a kick (liveness backstop).
+			if !s.pacerIdle && !s.capBlocked {
+				s.pace()
+			} else {
+				s.conn.pump()
+				s.kick()
+			}
+		}
+	})
+}
+
+func (s *Subflow) currentMI() *monitorInterval {
+	return s.openMIs[len(s.openMIs)-1]
+}
+
+// finalizeMIs delivers completed MI statistics to the controller, in order.
+func (s *Subflow) finalizeMIs() {
+	now := s.conn.eng.Now()
+	for len(s.openMIs) > 0 && s.openMIs[0].resolved(now) {
+		mi := s.openMIs[0]
+		s.openMIs = s.openMIs[1:]
+		s.rc.OnMIComplete(mi.stats())
+	}
+}
+
+func (s *Subflow) armPacer(at sim.Time) {
+	if s.pacerTimer != nil {
+		s.pacerTimer.Stop()
+	}
+	s.pacerTimer = s.conn.eng.At(at, s.pace)
+}
+
+// pace transmits the next packet if the pacing schedule and inflight cap
+// allow, then re-arms itself.
+func (s *Subflow) pace() {
+	now := s.conn.eng.Now()
+	if now < s.nextSend {
+		s.armPacer(s.nextSend)
+		return
+	}
+	if capper, ok := s.rc.(cc.InflightCapper); ok {
+		if float64(s.inflightBytes+s.conn.mss) > capper.InflightCapBytes(now, s.srtt) {
+			s.capBlocked = true
+			return // resumed by the next ack
+		}
+	}
+	seg := s.nextSegment()
+	if seg == nil {
+		// The queue drained at transmit time: ask the scheduler for more
+		// before going idle (the kernel scheduler runs on every dequeue).
+		s.conn.pump()
+		seg = s.nextSegment()
+	}
+	if seg == nil {
+		s.pacerIdle = true
+		return // resumed by kick when data arrives
+	}
+	s.transmit(seg)
+	gap := sim.FromSeconds(float64(seg.size) * 8 / s.curRate)
+	if s.nextSend < now {
+		s.nextSend = now
+	}
+	s.nextSend += gap
+	s.armPacer(s.nextSend)
+}
+
+// ---- window-based sending ----
+
+func (s *Subflow) trySend() {
+	for float64(s.inflightPkts) < s.wc.Cwnd() {
+		seg := s.nextSegment()
+		if seg == nil {
+			s.conn.pump()
+			seg = s.nextSegment()
+		}
+		if seg == nil {
+			return
+		}
+		s.transmit(seg)
+	}
+}
+
+// ---- common send path ----
+
+// nextSegment returns the next segment to transmit: retransmissions first,
+// then assigned new data, pulling from the connection when empty.
+func (s *Subflow) nextSegment() *segment {
+	if len(s.retx) > 0 {
+		seg := s.retx[0]
+		s.retx = s.retx[1:]
+		if seg.delivered {
+			return s.nextSegment() // superseded retransmission
+		}
+		s.retxPkts++
+		return seg
+	}
+	if len(s.pending) == 0 {
+		return nil
+	}
+	seg := s.pending[0]
+	// Receive-window gate: new data beyond what the receiver can buffer
+	// stays queued (retransmissions above always pass — they fill holes).
+	if seg.off+int64(seg.size) > s.conn.rwndLimit() {
+		return nil
+	}
+	s.pending = s.pending[1:]
+	return seg
+}
+
+func (s *Subflow) transmit(seg *segment) {
+	now := s.conn.eng.Now()
+	rec := &pktRec{sf: s, seg: seg, idx: s.sendIdx, size: seg.size, sentAt: now}
+	s.sendIdx++
+	s.sentPkts++
+	s.inflightBytes += seg.size
+	s.inflightPkts++
+	s.outstanding = append(s.outstanding, rec)
+	if s.rc != nil {
+		mi := s.currentMI()
+		rec.mi = mi
+		mi.onSend(seg.size)
+	}
+	rec.rto = s.conn.eng.At(now+s.rto, func() { s.onRTOTimer(rec) })
+	s.path.Send(seg.size, rec, netem.SinkFunc(s.receiverDeliver), nil)
+}
+
+// receiverDeliver runs at the receiving endpoint. With per-packet ACKs
+// (the default) it immediately returns an acknowledgement; with delayed
+// ACKs it batches every conn.ackEvery packets or flushes after
+// conn.ackTimeout, whichever comes first.
+func (s *Subflow) receiverDeliver(pkt *netem.Packet) {
+	rec := pkt.Meta.(*pktRec)
+	s.conn.onArrival(rec.seg.off, rec.size)
+	if s.conn.ackEvery <= 1 {
+		s.path.SendFeedback([]*pktRec{rec}, netem.SinkFunc(s.senderAck))
+		return
+	}
+	s.rxPending = append(s.rxPending, rec)
+	if len(s.rxPending) >= s.conn.ackEvery {
+		s.flushAcks()
+		return
+	}
+	if s.rxTimer == nil {
+		s.rxTimer = s.conn.eng.After(s.conn.ackTimeout, s.flushAcks)
+	}
+}
+
+func (s *Subflow) flushAcks() {
+	if s.rxTimer != nil {
+		s.rxTimer.Stop()
+		s.rxTimer = nil
+	}
+	if len(s.rxPending) == 0 {
+		return
+	}
+	batch := s.rxPending
+	s.rxPending = nil
+	s.path.SendFeedback(batch, netem.SinkFunc(s.senderAck))
+}
+
+// senderAck processes an acknowledgement batch back at the sender.
+func (s *Subflow) senderAck(fb *netem.Packet) {
+	for _, rec := range fb.Meta.([]*pktRec) {
+		s.handleAck(rec)
+	}
+}
+
+func (s *Subflow) handleAck(rec *pktRec) {
+	now := s.conn.eng.Now()
+	if rec.rto != nil {
+		rec.rto.Stop()
+	}
+	if rec.acked {
+		return
+	}
+	if rec.lost {
+		// Spurious loss declaration: the packet arrived after all. It was
+		// already charged as lost; only delivery accounting remains — but
+		// this may be the last event on the subflow, so keep it alive.
+		rec.acked = true
+		s.deliverOnce(rec.seg, now)
+		s.conn.pump()
+		s.kick()
+		return
+	}
+	rec.acked = true
+	rtt := now - rec.sentAt
+	s.updateRTT(rtt)
+	s.inflightBytes -= rec.size
+	s.inflightPkts--
+	s.deliverOnce(rec.seg, now)
+	s.conn.onRTTSample(now, rtt)
+
+	if rec.mi != nil {
+		rec.mi.onAck(rec.size, rec.sentAt, rtt)
+	}
+	if s.wc != nil {
+		s.wc.OnAck(now, rtt, 1)
+	}
+	// Dup-threshold loss detection: anything sent ≥3 packets before the
+	// acked one and still unresolved is declared lost.
+	s.detectReordering(rec.idx)
+	s.advanceHead()
+	if s.rc != nil {
+		s.finalizeMIs()
+	}
+	// Freed window/cap: resume sending.
+	if s.wc != nil {
+		s.trySend()
+	} else if s.capBlocked {
+		s.capBlocked = false
+		s.pace()
+	}
+	s.conn.pump()
+	s.kick()
+}
+
+const dupThreshold = 3
+
+func (s *Subflow) detectReordering(ackedIdx uint64) {
+	for i := s.outHead; i < len(s.outstanding); i++ {
+		rec := s.outstanding[i]
+		if rec.idx+dupThreshold > ackedIdx {
+			break
+		}
+		if !rec.acked && !rec.lost {
+			s.markLost(rec, false)
+		}
+	}
+}
+
+func (s *Subflow) advanceHead() {
+	for s.outHead < len(s.outstanding) {
+		rec := s.outstanding[s.outHead]
+		if !rec.acked && !rec.lost {
+			break
+		}
+		s.outstanding[s.outHead] = nil
+		s.outHead++
+	}
+	if s.outHead > 1024 && s.outHead*2 > len(s.outstanding) {
+		s.outstanding = append([]*pktRec(nil), s.outstanding[s.outHead:]...)
+		s.outHead = 0
+	}
+}
+
+func (s *Subflow) onRTOTimer(rec *pktRec) {
+	if rec.acked || rec.lost {
+		return
+	}
+	s.markLost(rec, true)
+	s.advanceHead()
+	if s.rc != nil {
+		s.finalizeMIs()
+	}
+	s.kick()
+}
+
+func (s *Subflow) markLost(rec *pktRec, isRTO bool) {
+	rec.lost = true
+	s.lostPkts++
+	s.inflightBytes -= rec.size
+	s.inflightPkts--
+	if rec.mi != nil {
+		rec.mi.onLost(rec.size)
+	}
+	if !rec.seg.delivered {
+		s.retx = append(s.retx, rec.seg)
+	}
+	if s.wc != nil && rec.idx >= s.recoverIdx {
+		// One congestion reaction per window of data.
+		s.recoverIdx = s.sendIdx
+		if isRTO {
+			s.wc.OnRTO(s.conn.eng.Now())
+		} else {
+			s.wc.OnLossEvent(s.conn.eng.Now())
+		}
+	}
+}
+
+func (s *Subflow) deliverOnce(seg *segment, now sim.Time) {
+	if seg.delivered {
+		return
+	}
+	seg.delivered = true
+	s.deliveredBytes += int64(seg.size)
+	s.goodput.Add(now, float64(seg.size))
+	s.conn.onDelivered(seg, now)
+}
+
+// ---- RTT estimation (RFC 6298 style) ----
+
+func (s *Subflow) updateRTT(rtt sim.Time) {
+	if s.srtt == 0 {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+	} else {
+		d := s.srtt - rtt
+		if d < 0 {
+			d = -d
+		}
+		s.rttvar = (3*s.rttvar + d) / 4
+		s.srtt = (7*s.srtt + rtt) / 8
+	}
+	s.updateRTO()
+}
+
+func (s *Subflow) updateRTO() {
+	// Like Linux, the variance term is floored at the minimum RTO so that
+	// rttvar decaying on a stable path cannot drive RTO down to srtt (which
+	// would spuriously time out every packet once srtt exceeds the floor).
+	varTerm := 4 * s.rttvar
+	if varTerm < s.conn.minRTO {
+		varTerm = s.conn.minRTO
+	}
+	rto := s.srtt + varTerm
+	if rto > 60*sim.Second {
+		rto = 60 * sim.Second
+	}
+	s.rto = rto
+}
+
+func (s *Subflow) String() string {
+	return fmt.Sprintf("%s/sf%d", s.conn.Name, s.id)
+}

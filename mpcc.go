@@ -1,0 +1,130 @@
+// Package mpcc is the public facade of the MPCC reproduction: online-
+// learning multipath congestion control (Gilad et al., CoNEXT 2020) with a
+// deterministic packet-level network emulator, the MPTCP baseline
+// controllers, the paper's schedulers, LMMF fairness theory, and the full
+// evaluation harness.
+//
+// Quick start:
+//
+//	eng := mpcc.NewEngine(42)
+//	net := mpcc.NewNetwork(eng)
+//	net.AddLink("wifi", 80e6, 15*mpcc.Millisecond, 375_000)
+//	net.AddLink("lte", 30e6, 40*mpcc.Millisecond, 750_000)
+//	conn := mpcc.NewConnection(eng, "dl", mpcc.MPCCLatency,
+//		[]*mpcc.Path{net.Path("wifi"), net.Path("lte")}, mpcc.AttachOptions{})
+//	conn.SetApp(mpcc.Bulk{}, nil)
+//	conn.Start(0)
+//	eng.Run(20 * mpcc.Second)
+//
+// Every table and figure of the paper can be regenerated through
+// RunExperiment (or the cmd/mpccbench tool).
+package mpcc
+
+import (
+	"mpcc/internal/exp"
+	"mpcc/internal/fairness"
+	"mpcc/internal/netem"
+	"mpcc/internal/sim"
+	"mpcc/internal/topo"
+	"mpcc/internal/transport"
+)
+
+// Core simulation types.
+type (
+	// Engine is the deterministic discrete-event simulator driving a run.
+	Engine = sim.Engine
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// Network is a collection of named emulated links.
+	Network = topo.Net
+	// Link is one emulated link (bandwidth, delay, drop-tail buffer, loss).
+	Link = netem.Link
+	// Path is a unidirectional route a subflow sends on.
+	Path = netem.Path
+	// Connection is a multipath transport connection.
+	Connection = transport.Connection
+	// Subflow is one path-bound flow of a Connection.
+	Subflow = transport.Subflow
+	// Bulk is an infinite data source.
+	Bulk = transport.Bulk
+	// Protocol names a congestion-control scheme.
+	Protocol = exp.Protocol
+	// AttachOptions tune protocol attachment.
+	AttachOptions = exp.AttachOptions
+	// Config scales experiment runs.
+	Config = exp.Config
+	// Table is a printable experiment result.
+	Table = exp.Table
+	// Topology is a canonical evaluation network.
+	Topology = topo.Topology
+	// ParallelLinkNetwork is the fairness-theory abstraction of §4.2.
+	ParallelLinkNetwork = fairness.Network
+	// Allocation is an LMMF allocation on a ParallelLinkNetwork.
+	Allocation = fairness.Allocation
+	// Clos is the Fig. 18 data-center fabric.
+	Clos = topo.Clos
+	// ClosConfig sizes a Clos fabric.
+	ClosConfig = topo.ClosConfig
+)
+
+// Time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// The evaluated protocols (§7.1).
+const (
+	MPCCLatency = exp.MPCCLatency
+	MPCCLoss    = exp.MPCCLoss
+	LIA         = exp.LIA
+	OLIA        = exp.OLIA
+	Balia       = exp.Balia
+	WVegas      = exp.WVegas
+	Reno        = exp.Reno
+	Cubic       = exp.Cubic
+	BBR         = exp.BBR
+)
+
+// NewEngine returns a simulation engine seeded deterministically.
+func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
+
+// NewNetwork returns an empty network of named links on eng.
+func NewNetwork(eng *Engine) *Network { return topo.NewNet(eng) }
+
+// NewFile returns a fixed-size transfer application.
+func NewFile(bytes int64) transport.App { return transport.NewFile(bytes) }
+
+// NewConnection builds a connection running the protocol over the paths
+// (one subflow per path), with the paper's scheduler defaults.
+func NewConnection(eng *Engine, name string, p Protocol, paths []*Path, o AttachOptions) *Connection {
+	return exp.Attach(eng, name, p, paths, o)
+}
+
+// DefaultConfig returns the scaled-down experiment configuration.
+func DefaultConfig() Config { return exp.DefaultConfig() }
+
+// RunExperiment regenerates the named table/figure; see Experiments for the
+// catalogue.
+func RunExperiment(id string, cfg Config) ([]*Table, error) { return exp.RunByID(id, cfg) }
+
+// LMMF computes the lexicographic max-min fair allocation on a
+// parallel-link network (the fairness notion of Theorems 4.1/5.1/5.2).
+func LMMF(n *ParallelLinkNetwork) (*Allocation, error) { return fairness.LMMF(n) }
+
+// NewClos builds the Fig. 18 data-center fabric on eng.
+func NewClos(eng *Engine, cfg ClosConfig) *Clos { return topo.NewClos(eng, cfg) }
+
+// DefaultClosConfig returns the scaled testbed configuration (DESIGN.md).
+func DefaultClosConfig() ClosConfig { return topo.DefaultClosConfig() }
+
+// Experiments lists the available experiment ids with descriptions.
+func Experiments() map[string]string {
+	out := make(map[string]string)
+	for _, e := range exp.Registry() {
+		out[e.ID] = e.Desc
+	}
+	return out
+}
