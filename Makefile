@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test check bench fuzz fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 gate: vet plus the full test suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Short fuzz pass over every native fuzz target.
+fuzz:
+	$(GO) test ./internal/fairness -fuzz FuzzParse -fuzztime 10s
+	$(GO) test ./internal/transport -fuzz FuzzRangeSet -fuzztime 10s
+	$(GO) test ./internal/transport -fuzz FuzzFaultTimeline -fuzztime 10s
+
+fmt:
+	gofmt -l -w .

@@ -1,4 +1,5 @@
-// Command mpccbench regenerates the paper's tables and figures.
+// Command mpccbench regenerates the paper's tables and figures, plus the
+// extension experiments (e.g. -exp faults for the fault-recovery study).
 //
 // Usage:
 //

@@ -81,6 +81,18 @@ type WindowController interface {
 	OnRTO(now sim.Time)
 }
 
+// FailureAware is implemented by controllers that want to be told when the
+// transport's failure detector declares their subflow dead (N consecutive
+// RTO episodes with no ACK) and when probing revives it. OnSubflowDown must
+// stop the controller's state from leaking into connection-level coupling
+// (e.g. published-rate totals); OnSubflowUp must discard learning state
+// accumulated before the failure — the path that comes back is not the path
+// that went down — and restart from the controller's initial condition.
+type FailureAware interface {
+	OnSubflowDown()
+	OnSubflowUp()
+}
+
 // SubflowState is one subflow's entry in a Coupler: the live state the
 // MPTCP coupled algorithms read from their siblings.
 type SubflowState struct {

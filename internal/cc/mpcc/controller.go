@@ -502,6 +502,41 @@ func (c *Controller) applyStep(gradMag float64) {
 	c.rate = c.clamp(c.rate + c.dir*stepMbps*1e6)
 }
 
+// OnSubflowDown implements cc.FailureAware: the transport's failure detector
+// declared the subflow dead. The published rate is excluded from the group's
+// totals so sibling probe steps and change bounds stop scaling against a
+// phantom rate.
+func (c *Controller) OnSubflowDown() {
+	c.grp.SetAlive(c.id, false)
+}
+
+// OnSubflowUp implements cc.FailureAware: a probe got through and the
+// transport is reviving the subflow. All learning state predates the outage
+// and describes a network that no longer exists, so the controller discards
+// it — including utility history a moving run might otherwise trust — and
+// re-enters slow start at the initial rate (§5.2's starting state).
+func (c *Controller) OnSubflowUp() {
+	c.grp.SetAlive(c.id, true)
+	c.state = phaseStarting
+	c.rate = c.cfg.InitialRateBps
+	// The transport discards the failed subflow's open MIs, so completions
+	// for pre-failure plans can never arrive: forget them.
+	c.planned = nil
+	c.others = 0
+	c.prevRate, c.prevUtility, c.prevTol = 0, 0, 0
+	c.haveBase = false
+	c.awaiting = 0
+	c.probeOmega, c.probeIssued, c.probeGot = 0, 0, 0
+	c.probeHiU, c.probeLoU, c.probeTol = 0, 0, 0
+	c.probeRetry = nil
+	c.dir, c.amp, c.consec = 0, 1, 0
+	c.bestU, c.bestTol, c.bestRate = 0, 0, 0
+	c.lastU, c.lastRate = 0, 0
+	c.swingBound = 0
+	c.moveIssued = false
+	c.grp.Publish(c.id, c.rate)
+}
+
 func (c *Controller) enterProbing() {
 	c.state = phaseProbing
 	c.probeIssued = 0

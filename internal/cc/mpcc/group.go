@@ -8,6 +8,7 @@ package mpcc
 // own performance rather than in its siblings' rates.
 type Group struct {
 	rates []float64 // published rate per subflow id, bits/s
+	down  []bool    // true while the transport's failure detector holds the subflow dead
 }
 
 // NewGroup returns an empty publication board.
@@ -16,6 +17,7 @@ func NewGroup() *Group { return &Group{} }
 // Join registers a new subflow and returns its id.
 func (g *Group) Join() int {
 	g.rates = append(g.rates, 0)
+	g.down = append(g.down, false)
 	return len(g.rates) - 1
 }
 
@@ -30,23 +32,35 @@ func (g *Group) Publish(id int, rateBps float64) {
 // Rate returns the last rate published by subflow id.
 func (g *Group) Rate(id int) float64 { return g.rates[id] }
 
-// Total returns the sum of all published rates in bits/s — the
+// SetAlive marks subflow id as alive or dead. A dead subflow's published
+// rate is excluded from Total and TotalExcept: ω and the moving-phase change
+// bound are fractions of the connection's total sending rate (§5.2), and a
+// failed subflow sends nothing — scaling siblings' probes against its
+// phantom rate would both over-probe and over-bound.
+func (g *Group) SetAlive(id int, alive bool) { g.down[id] = !alive }
+
+// Alive reports whether subflow id is currently considered alive.
+func (g *Group) Alive(id int) bool { return !g.down[id] }
+
+// Total returns the sum of published rates of live subflows in bits/s — the
 // "connection's total sending rate" used to scale probe steps and change
 // bounds (§5.2).
 func (g *Group) Total() float64 {
 	t := 0.0
-	for _, r := range g.rates {
-		t += r
+	for i, r := range g.rates {
+		if !g.down[i] {
+			t += r
+		}
 	}
 	return t
 }
 
-// TotalExcept returns the sum of published rates of every subflow except id
-// (the constant C in Eq. 2).
+// TotalExcept returns the sum of published rates of every live subflow
+// except id (the constant C in Eq. 2).
 func (g *Group) TotalExcept(id int) float64 {
 	t := 0.0
 	for i, r := range g.rates {
-		if i != id {
+		if i != id && !g.down[i] {
 			t += r
 		}
 	}

@@ -99,6 +99,9 @@ func Registry() []Experiment {
 		{"ablation-threshold", "scheduler availability threshold sweep (§6)", func(cfg Config) []*Table {
 			return []*Table{AblationSchedulerThreshold(cfg)}
 		}},
+		{"faults", "robustness: mid-run link outage on topology 3c — failure detection, migration, probing revival", func(cfg Config) []*Table {
+			return []*Table{FaultRecovery(cfg)}
+		}},
 		{"web", "extension: web-like short flows over busy links (§9)", func(cfg Config) []*Table {
 			return []*Table{WebWorkload(cfg)}
 		}},

@@ -1,7 +1,10 @@
 // Package netem is a discrete-event network emulator. It models the four
 // knobs the paper's Emulab/ipfw setup exposed — link bandwidth, propagation
 // delay, drop-tail buffer size, and i.i.d. random loss — at packet
-// granularity on a sim.Engine virtual clock.
+// granularity on a sim.Engine virtual clock, plus the fault model the
+// paper's time-varying experiments never exercise: hard link outages and
+// flap sequences (SetDown, FaultInjector) and Gilbert–Elliott two-state
+// burst loss (SetGilbertElliott).
 //
 // A Path is an ordered sequence of Links ending at a Sink. Forward (data)
 // packets experience serialization, queueing, random loss, and propagation
@@ -49,6 +52,8 @@ type DropReason int
 const (
 	DropQueueFull DropReason = iota // drop-tail buffer overflow
 	DropRandom                      // i.i.d. non-congestion loss
+	DropOutage                      // link down (outage/flap) or stalled at zero rate
+	DropBurst                       // Gilbert–Elliott bad-state burst loss
 )
 
 func (r DropReason) String() string {
@@ -57,6 +62,10 @@ func (r DropReason) String() string {
 		return "queue-full"
 	case DropRandom:
 		return "random"
+	case DropOutage:
+		return "outage"
+	case DropBurst:
+		return "burst"
 	default:
 		return fmt.Sprintf("DropReason(%d)", int(r))
 	}
@@ -69,6 +78,11 @@ type LinkStats struct {
 	DeliveredBytes  uint64
 	DropsQueueFull  uint64
 	DropsRandom     uint64
+	DropsOutage     uint64
+	DropsBurst      uint64
+	// Outages counts up→down transitions (SetDown(true) while up, including
+	// each down phase of a flap sequence).
+	Outages uint64
 }
 
 // Link models a unidirectional link with finite bandwidth, a drop-tail
@@ -85,6 +99,11 @@ type Link struct {
 	bufBytes int      // drop-tail queue capacity, bytes (queued, not in service)
 	lossProb float64  // i.i.d. drop probability in [0,1]
 	jitter   sim.Time // max extra per-packet delay (uniform), non-reordering
+	down     bool     // administrative/physical outage: all arrivals drop
+
+	ge    GilbertElliott // burst-loss parameters (zero value = disabled)
+	geOn  bool
+	geBad bool // current Gilbert–Elliott state
 
 	lastArrival sim.Time // monotonic delivery guard under jitter
 
@@ -111,12 +130,68 @@ func NewLink(eng *sim.Engine, name string, rateBps float64, delay sim.Time, bufB
 }
 
 // SetRate changes the serialization rate. Packets already scheduled keep
-// their departure times; new arrivals use the new rate.
+// their departure times; new arrivals use the new rate. A zero (or negative,
+// clamped to zero) rate models a stalled link: new arrivals can never
+// serialize, so they are dropped with DropOutage instead of being scheduled
+// with an infinite transmission time.
 func (l *Link) SetRate(rateBps float64) {
-	if rateBps <= 0 {
-		panic("netem: link rate must be positive")
+	if rateBps < 0 {
+		rateBps = 0
 	}
 	l.rateBps = rateBps
+}
+
+// SetDown raises or clears a link outage. While down the link blackholes
+// every new arrival (counted as DropOutage); packets already serialized keep
+// their scheduled departures, like SetRate. Each up→down transition counts
+// one outage in Stats.
+func (l *Link) SetDown(down bool) {
+	if down && !l.down {
+		l.stats.Outages++
+	}
+	l.down = down
+}
+
+// Down reports whether the link is currently in an outage.
+func (l *Link) Down() bool { return l.down }
+
+// GilbertElliott parameterizes the classic two-state burst-loss model: the
+// link is in a Good or Bad state; each arriving packet first makes the state
+// transition (Good→Bad with probability PGoodBad, Bad→Good with PBadGood)
+// and is then dropped with the state's loss probability. Mean burst length
+// is 1/PBadGood packets, stationary bad-state probability
+// PGoodBad/(PGoodBad+PBadGood).
+type GilbertElliott struct {
+	PGoodBad float64 // per-packet transition probability Good→Bad
+	PBadGood float64 // per-packet transition probability Bad→Good
+	LossGood float64 // drop probability in the Good state (often 0)
+	LossBad  float64 // drop probability in the Bad state (often 1)
+}
+
+// valid reports whether every probability is in [0,1].
+func (ge GilbertElliott) valid() bool {
+	for _, p := range []float64{ge.PGoodBad, ge.PBadGood, ge.LossGood, ge.LossBad} {
+		if p < 0 || p > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// SetGilbertElliott enables the two-state burst-loss model with the given
+// parameters, alongside (not replacing) the i.i.d. SetLoss process. Passing
+// nil disables it and resets the state to Good.
+func (l *Link) SetGilbertElliott(ge *GilbertElliott) {
+	if ge == nil {
+		l.geOn, l.geBad = false, false
+		l.ge = GilbertElliott{}
+		return
+	}
+	if !ge.valid() {
+		panic("netem: Gilbert–Elliott probabilities out of range")
+	}
+	l.ge = *ge
+	l.geOn = true
 }
 
 // SetDelay changes the propagation delay for subsequently forwarded packets.
@@ -175,6 +250,32 @@ func (l *Link) BDPBytes() int {
 // semantics, and schedules its serialization and propagation.
 func (l *Link) enqueue(pkt *Packet) {
 	now := l.eng.Now()
+	if l.down || l.rateBps <= 0 {
+		// Outage (or zero-rate stall): the packet can never serialize.
+		l.stats.DropsOutage++
+		l.drop(pkt, DropOutage)
+		return
+	}
+	if l.geOn {
+		// Transition first, then apply the new state's loss probability, so
+		// a burst's first packet already sees the Bad state.
+		if l.geBad {
+			if l.eng.Rand().Float64() < l.ge.PBadGood {
+				l.geBad = false
+			}
+		} else if l.eng.Rand().Float64() < l.ge.PGoodBad {
+			l.geBad = true
+		}
+		p := l.ge.LossGood
+		if l.geBad {
+			p = l.ge.LossBad
+		}
+		if p > 0 && l.eng.Rand().Float64() < p {
+			l.stats.DropsBurst++
+			l.drop(pkt, DropBurst)
+			return
+		}
+	}
 	if l.lossProb > 0 && l.eng.Rand().Float64() < l.lossProb {
 		l.stats.DropsRandom++
 		l.drop(pkt, DropRandom)

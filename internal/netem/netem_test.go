@@ -273,12 +273,20 @@ func TestLinkPanics(t *testing.T) {
 	mustPanic("neg buffer", func() { NewLink(e, "l", 1, 0, -1) })
 	l := NewLink(e, "l", 1, 0, 0)
 	mustPanic("bad loss", func() { l.SetLoss(1.5) })
-	mustPanic("bad rate", func() { l.SetRate(-1) })
+	mustPanic("bad GE", func() { l.SetGilbertElliott(&GilbertElliott{PGoodBad: 1.5}) })
+	// SetRate no longer panics on zero/negative: both model a stalled link.
+	l.SetRate(-1)
+	if l.Rate() != 0 {
+		t.Fatalf("negative rate should clamp to 0, got %v", l.Rate())
+	}
 }
 
 func TestDropReasonString(t *testing.T) {
 	if DropQueueFull.String() != "queue-full" || DropRandom.String() != "random" {
 		t.Fatal("DropReason strings wrong")
+	}
+	if DropOutage.String() != "outage" || DropBurst.String() != "burst" {
+		t.Fatal("fault DropReason strings wrong")
 	}
 	if DropReason(9).String() == "" {
 		t.Fatal("unknown reason should still format")

@@ -36,6 +36,10 @@ type Connection struct {
 	rcvBuf     int64    // receive-buffer bytes (0 = unlimited, the paper's setup)
 	rcv        rangeSet // receiver-side reassembly state
 
+	failThreshold int        // consecutive RTO episodes before a subflow fails (≤0 disables)
+	probeInterval sim.Time   // revival-probe period for failed subflows
+	orphans       []*segment // segments stranded while every subflow was dead
+
 	started bool
 	pumping bool
 	startAt sim.Time
@@ -83,6 +87,22 @@ func WithRcvBuf(bytes int64) ConnOption {
 	return func(c *Connection) { c.rcvBuf = bytes }
 }
 
+// WithFailThreshold sets how many consecutive RTO episodes (timeouts with no
+// intervening ACK) declare a subflow dead. n ≤ 0 disables the failure
+// detector entirely — the subflow keeps retransmitting into the void with
+// exponentially backed-off timeouts, as a stack without path management
+// would. The default is DefaultFailThreshold.
+func WithFailThreshold(n int) ConnOption {
+	return func(c *Connection) { c.failThreshold = n }
+}
+
+// WithProbeInterval sets how often a failed subflow probes its path for
+// revival (d ≤ 0 disables probing: a failed subflow never comes back). The
+// default is DefaultProbeInterval.
+func WithProbeInterval(d sim.Time) ConnOption {
+	return func(c *Connection) { c.probeInterval = d }
+}
+
 // WithScheduler sets the multipath scheduler (default: RateScheduler with
 // the paper's 10% threshold for rate-based subflows, which also behaves
 // sensibly for window-based ones; use DefaultScheduler to reproduce the
@@ -93,14 +113,16 @@ func WithScheduler(s Scheduler) ConnOption { return func(c *Connection) { c.sche
 // Start it.
 func NewConnection(eng *sim.Engine, name string, opts ...ConnOption) *Connection {
 	c := &Connection{
-		Name:       name,
-		eng:        eng,
-		mss:        DefaultMSS,
-		sndBufPkts: DefaultSndBufPkts,
-		minRTO:     DefaultMinRTO,
-		ackEvery:   1,
-		sched:      NewRateScheduler(0.10),
-		fct:        -1,
+		Name:          name,
+		eng:           eng,
+		mss:           DefaultMSS,
+		sndBufPkts:    DefaultSndBufPkts,
+		minRTO:        DefaultMinRTO,
+		ackEvery:      1,
+		sched:         NewRateScheduler(0.10),
+		fct:           -1,
+		failThreshold: DefaultFailThreshold,
+		probeInterval: DefaultProbeInterval,
 	}
 	for _, o := range opts {
 		o(c)
@@ -212,7 +234,7 @@ func (c *Connection) pump() {
 // than pending alone) mirrors a real socket's send buffer and guarantees the
 // pump terminates even under a runaway congestion window.
 func (c *Connection) totalUnacked() int {
-	t := 0
+	t := len(c.orphans)
 	for _, s := range c.subflows {
 		t += len(s.pending) + s.inflightPkts
 	}

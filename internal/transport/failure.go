@@ -1,0 +1,271 @@
+package transport
+
+import (
+	"mpcc/internal/cc"
+	"mpcc/internal/netem"
+	"mpcc/internal/sim"
+)
+
+// SubflowState is the failure detector's view of a subflow.
+type SubflowState int
+
+const (
+	// SubflowActive is the normal sending state.
+	SubflowActive SubflowState = iota
+	// SubflowFailed means the failure detector declared the path dead:
+	// the subflow sends nothing but periodic revival probes, schedulers
+	// skip it, and its unacked data has been migrated to live siblings.
+	SubflowFailed
+)
+
+func (st SubflowState) String() string {
+	switch st {
+	case SubflowActive:
+		return "active"
+	case SubflowFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Failure-detector defaults: a subflow is declared dead after
+// DefaultFailThreshold consecutive RTO episodes with no intervening ACK, and
+// while dead it probes the path every DefaultProbeInterval.
+const (
+	DefaultFailThreshold = 3
+	DefaultProbeInterval = 500 * sim.Millisecond
+
+	// maxRTO caps the exponentially backed-off retransmission timeout,
+	// mirroring RFC 6298's recommended 60 s upper bound.
+	maxRTO = 60 * sim.Second
+)
+
+// State returns the failure detector's view of the subflow.
+func (s *Subflow) State() SubflowState { return s.state }
+
+// Failed reports whether the subflow is currently declared dead.
+func (s *Subflow) Failed() bool { return s.state == SubflowFailed }
+
+// Fails returns how many times the subflow has been declared dead.
+func (s *Subflow) Fails() uint64 { return s.fails }
+
+// LastFailureAt returns when the subflow was last declared dead (0 if never).
+func (s *Subflow) LastFailureAt() sim.Time { return s.downAt }
+
+// LastRevivalAt returns when the subflow last revived (0 if never).
+func (s *Subflow) LastRevivalAt() sim.Time { return s.upAt }
+
+// backedOffRTO returns the retransmission timeout with exponential backoff
+// applied: the base RTO doubled once per consecutive unanswered RTO episode,
+// capped at maxRTO (RFC 6298 §5.5–5.7). An ACK resets the backoff.
+func (s *Subflow) backedOffRTO() sim.Time {
+	rto := s.rto
+	for i := 0; i < s.backoff; i++ {
+		rto *= 2
+		if rto >= maxRTO {
+			return maxRTO
+		}
+	}
+	return rto
+}
+
+// controller returns the subflow's congestion controller regardless of
+// family, for interface probing.
+func (s *Subflow) controller() any {
+	if s.rc != nil {
+		return s.rc
+	}
+	return s.wc
+}
+
+// fail transitions the subflow to SubflowFailed: stop the send machinery,
+// resolve everything in flight as lost without congestion-control callbacks
+// (the path is gone, not congested), tell a FailureAware controller, migrate
+// queued data to live siblings, and start revival probing.
+func (s *Subflow) fail() {
+	if s.state == SubflowFailed {
+		return
+	}
+	s.state = SubflowFailed
+	s.fails++
+	s.downAt = s.conn.eng.Now()
+	if s.pacerTimer != nil {
+		s.pacerTimer.Stop()
+		s.pacerTimer = nil
+	}
+	s.pacerIdle = true
+	s.capBlocked = false
+	// Dropping the open MIs orphans the pending rollMI callback (its
+	// identity check fails) so no stale OnMIComplete reaches the controller.
+	s.openMIs = nil
+	for i := s.outHead; i < len(s.outstanding); i++ {
+		rec := s.outstanding[i]
+		if rec == nil || rec.acked || rec.lost {
+			continue
+		}
+		rec.lost = true
+		s.lostPkts++
+		s.inflightBytes -= rec.size
+		s.inflightPkts--
+		if rec.rto != nil {
+			rec.rto.Stop()
+		}
+		if !rec.seg.delivered {
+			s.retx = append(s.retx, rec.seg)
+		}
+	}
+	s.advanceHead()
+	// Notify before migrating so re-queued data is not scheduled against
+	// the dead subflow's published rate.
+	if fa, ok := s.controller().(cc.FailureAware); ok {
+		fa.OnSubflowDown()
+	}
+	s.conn.migrateFrom(s)
+	s.scheduleProbe()
+	s.conn.pump()
+}
+
+// revive returns a failed subflow to service after a probe was acknowledged.
+// The controller restarts from its initial condition (via OnSubflowUp): the
+// path that came back is not the path that went down.
+func (s *Subflow) revive() {
+	if s.state != SubflowFailed {
+		return
+	}
+	s.state = SubflowActive
+	s.upAt = s.conn.eng.Now()
+	s.consecRTOs, s.backoff = 0, 0
+	s.rtoEpochIdx = s.sendIdx
+	if s.probeTimer != nil {
+		s.probeTimer.Stop()
+		s.probeTimer = nil
+	}
+	if fa, ok := s.controller().(cc.FailureAware); ok {
+		fa.OnSubflowUp()
+	}
+	s.conn.adoptOrphans(s)
+	if s.rc != nil {
+		s.rollMI()
+		s.pacerIdle = false
+		s.pace()
+	} else {
+		s.trySend()
+	}
+	s.conn.pump()
+}
+
+// ---- revival probing ----
+
+// probeRec is the in-flight record of one revival probe.
+type probeRec struct {
+	sf     *Subflow
+	seq    uint64
+	sentAt sim.Time
+}
+
+func (s *Subflow) scheduleProbe() {
+	if s.conn.probeInterval <= 0 {
+		return
+	}
+	if s.probeTimer != nil {
+		s.probeTimer.Stop()
+	}
+	s.probeTimer = s.conn.eng.After(s.conn.probeInterval, s.sendProbe)
+}
+
+// sendProbe transmits a single MSS-sized probe on the dead path. Probes
+// carry no stream data; their only purpose is eliciting an acknowledgement.
+func (s *Subflow) sendProbe() {
+	if s.state != SubflowFailed {
+		return
+	}
+	s.probeSeq++
+	pr := &probeRec{sf: s, seq: s.probeSeq, sentAt: s.conn.eng.Now()}
+	s.path.Send(s.conn.mss, pr, netem.SinkFunc(s.probeDeliver), nil)
+	s.scheduleProbe()
+}
+
+// probeDeliver runs at the receiver when a probe survives the path; it
+// immediately acknowledges.
+func (s *Subflow) probeDeliver(pkt *netem.Packet) {
+	pr := pkt.Meta.(*probeRec)
+	s.path.SendFeedback(pr, netem.SinkFunc(s.probeAck))
+}
+
+// probeAck runs back at the sender: the first acknowledged probe of the
+// current failure episode revives the subflow.
+func (s *Subflow) probeAck(fb *netem.Packet) {
+	pr := fb.Meta.(*probeRec)
+	if s.state != SubflowFailed || pr.seq != s.probeSeq {
+		return
+	}
+	s.updateRTT(s.conn.eng.Now() - pr.sentAt)
+	s.revive()
+}
+
+// ---- connection-level migration ----
+
+// liveSubflows returns the subflows not currently declared dead, excluding
+// except (which may be nil).
+func (c *Connection) liveSubflows(except *Subflow) []*Subflow {
+	var live []*Subflow
+	for _, s := range c.subflows {
+		if s != except && s.state != SubflowFailed {
+			live = append(live, s)
+		}
+	}
+	return live
+}
+
+// migrateFrom re-queues a failed subflow's segments onto live siblings:
+// already-sent data joins sibling retransmission queues (retransmissions
+// bypass the receive-window gate — they fill the same holes), never-sent
+// data joins sibling pending queues round-robin. With no live sibling the
+// segments are held at the connection until one revives.
+func (c *Connection) migrateFrom(s *Subflow) {
+	var sent, unsent []*segment
+	for _, seg := range s.retx {
+		if !seg.delivered {
+			sent = append(sent, seg)
+		}
+	}
+	for _, seg := range s.pending {
+		if !seg.delivered {
+			unsent = append(unsent, seg)
+		}
+	}
+	s.retx, s.pending = nil, nil
+	live := c.liveSubflows(s)
+	if len(live) == 0 {
+		c.orphans = append(c.orphans, sent...)
+		c.orphans = append(c.orphans, unsent...)
+		return
+	}
+	for i, seg := range sent {
+		sf := live[i%len(live)]
+		sf.retx = append(sf.retx, seg)
+	}
+	for i, seg := range unsent {
+		sf := live[i%len(live)]
+		sf.pending = append(sf.pending, seg)
+	}
+	for _, sf := range live {
+		sf.kick()
+	}
+}
+
+// adoptOrphans hands segments stranded while every subflow was dead to the
+// newly revived subflow.
+func (c *Connection) adoptOrphans(s *Subflow) {
+	if len(c.orphans) == 0 {
+		return
+	}
+	segs := c.orphans
+	c.orphans = nil
+	for _, seg := range segs {
+		if !seg.delivered {
+			s.retx = append(s.retx, seg)
+		}
+	}
+}

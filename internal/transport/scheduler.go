@@ -25,6 +25,9 @@ func (DefaultScheduler) Pick(c *Connection) *Subflow {
 	var best *Subflow
 	var bestRTT sim.Time
 	for _, s := range c.subflows {
+		if s.state == SubflowFailed {
+			continue
+		}
 		if float64(s.inflightPkts) >= s.CwndPkts() {
 			continue
 		}
@@ -57,6 +60,9 @@ func (r *RateScheduler) Pick(c *Connection) *Subflow {
 	var best *Subflow
 	var bestRTT sim.Time
 	for _, s := range c.subflows {
+		if s.state == SubflowFailed {
+			continue
+		}
 		if float64(s.inflightPkts) >= s.CwndPkts() {
 			continue
 		}

@@ -63,6 +63,17 @@ type Subflow struct {
 	// window of data.
 	recoverIdx uint64
 
+	// failure detection and recovery
+	state       SubflowState
+	consecRTOs  int    // RTO episodes since the last ACK
+	backoff     int    // RTO doublings currently applied
+	rtoEpochIdx uint64 // timeouts of packets sent before this don't open a new episode
+	probeTimer  *sim.Timer
+	probeSeq    uint64
+	fails       uint64
+	downAt      sim.Time
+	upAt        sim.Time
+
 	// receiver-side delayed-ACK state
 	rxPending []*pktRec
 	rxTimer   *sim.Timer
@@ -150,7 +161,7 @@ func (s *Subflow) begin() {
 
 // kick resumes sending after new data arrives or capacity frees up.
 func (s *Subflow) kick() {
-	if !s.conn.started || (s.rc != nil && !s.running) {
+	if !s.conn.started || (s.rc != nil && !s.running) || s.state == SubflowFailed {
 		return
 	}
 	if s.wc != nil {
@@ -276,6 +287,11 @@ func (s *Subflow) pace() {
 		return // resumed by kick when data arrives
 	}
 	s.transmit(seg)
+	if s.curRate < 1 {
+		// A zero/negative rate models a stalled controller, not an
+		// infinite inter-packet gap.
+		s.curRate = 1
+	}
 	gap := sim.FromSeconds(float64(seg.size) * 8 / s.curRate)
 	if s.nextSend < now {
 		s.nextSend = now
@@ -340,7 +356,7 @@ func (s *Subflow) transmit(seg *segment) {
 		rec.mi = mi
 		mi.onSend(seg.size)
 	}
-	rec.rto = s.conn.eng.At(now+s.rto, func() { s.onRTOTimer(rec) })
+	rec.rto = s.conn.eng.At(now+s.backedOffRTO(), func() { s.onRTOTimer(rec) })
 	s.path.Send(seg.size, rec, netem.SinkFunc(s.receiverDeliver), nil)
 }
 
@@ -393,6 +409,9 @@ func (s *Subflow) handleAck(rec *pktRec) {
 	if rec.acked {
 		return
 	}
+	// Any acknowledgement proves the path still forwards packets: reset the
+	// failure detector and the RTO backoff (RFC 6298 §5.7).
+	s.consecRTOs, s.backoff = 0, 0
 	if rec.lost {
 		// Spurious loss declaration: the packet arrived after all. It was
 		// already charged as lost; only delivery accounting remains — but
@@ -465,13 +484,28 @@ func (s *Subflow) advanceHead() {
 }
 
 func (s *Subflow) onRTOTimer(rec *pktRec) {
-	if rec.acked || rec.lost {
+	if rec.acked || rec.lost || s.state == SubflowFailed {
 		return
+	}
+	// Count RTO episodes, not timers: every packet of a flight times out
+	// together, which must read as one path event, not one per packet. A
+	// timeout opens a new episode only if the packet was sent at or after
+	// the previous episode's close.
+	if rec.idx >= s.rtoEpochIdx {
+		s.rtoEpochIdx = s.sendIdx
+		s.consecRTOs++
+		if s.backoff < 16 {
+			s.backoff++
+		}
 	}
 	s.markLost(rec, true)
 	s.advanceHead()
 	if s.rc != nil {
 		s.finalizeMIs()
+	}
+	if s.conn.failThreshold > 0 && s.consecRTOs >= s.conn.failThreshold {
+		s.fail()
+		return
 	}
 	s.kick()
 }

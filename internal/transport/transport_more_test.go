@@ -357,6 +357,70 @@ func TestReceiveWindowFileStillCompletes(t *testing.T) {
 	}
 }
 
+func TestSchedulersSkipFailedSubflow(t *testing.T) {
+	tn := newTestNet(88, 2)
+	c := NewConnection(tn.eng, "sched")
+	c.AddWindowSubflow(tn.path(0), reno.New())
+	c.AddWindowSubflow(tn.path(1), reno.New())
+	s0, s1 := c.Subflows()[0], c.Subflows()[1]
+	s0.srtt, s1.srtt = 50*sim.Millisecond, 10*sim.Millisecond
+	s1.state = SubflowFailed // lower RTT, but dead: must never be picked
+	for _, sched := range []Scheduler{DefaultScheduler{}, NewRateScheduler(0.10)} {
+		if got := sched.Pick(c); got != s0 {
+			t.Fatalf("%T picked %v, want the live subflow", sched, got)
+		}
+	}
+}
+
+func TestSchedulerAvoidsDeadPathSubflow(t *testing.T) {
+	// A subflow whose path died pins unacked data at its window until the
+	// failure detector clears it; either way the scheduler must not assign
+	// new data to it. Run both detector configurations through an outage.
+	run := func(threshold int) (*Connection, *testNet) {
+		tn := newTestNet(89, 2)
+		c := NewConnection(tn.eng, "pin",
+			WithScheduler(DefaultScheduler{}), WithFailThreshold(threshold), WithProbeInterval(0))
+		c.AddWindowSubflow(tn.path(0), reno.New())
+		c.AddWindowSubflow(tn.path(1), reno.New())
+		c.SetApp(Bulk{}, nil)
+		c.Start(0)
+		tn.eng.At(1*sim.Second, func() { tn.links[1].SetDown(true) })
+		tn.eng.Run(10 * sim.Second)
+		return c, tn
+	}
+
+	// Detector on: the dead subflow is Failed with zero inflight — only the
+	// state check keeps schedulers away from it.
+	c, _ := run(DefaultFailThreshold)
+	dead := c.Subflows()[1]
+	if !dead.Failed() {
+		t.Fatal("dead-path subflow not declared failed")
+	}
+	if dead.InflightPkts() != 0 || dead.PendingPkts() != 0 {
+		t.Fatalf("failed subflow holds inflight=%d pending=%d", dead.InflightPkts(), dead.PendingPkts())
+	}
+	if got := c.sched.Pick(c); got == dead {
+		t.Fatal("scheduler picked a failed subflow")
+	}
+	if got := goodputMbps(c, 5*sim.Second, 10*sim.Second); got < 70 {
+		t.Fatalf("live path goodput %.1f Mbps after failover, want ≈95", got)
+	}
+
+	// Detector off: the backed-off retransmission stays pinned in flight at
+	// cwnd, so the window test must keep the scheduler away.
+	c2, _ := run(0)
+	dead2 := c2.Subflows()[1]
+	if dead2.Failed() {
+		t.Fatal("detector disabled but subflow failed")
+	}
+	if dead2.InflightPkts() == 0 {
+		t.Fatal("expected unacked data pinned in flight on the dead path")
+	}
+	if got := c2.sched.Pick(c2); got == dead2 {
+		t.Fatal("scheduler picked the cwnd-pinned dead subflow")
+	}
+}
+
 func TestMeanLatencySinceOmitsTransient(t *testing.T) {
 	tn := newTestNet(70, 1)
 	tn.links[0].SetBuffer(4 * 375000) // deep buffer: slow start bloats it

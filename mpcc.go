@@ -45,8 +45,17 @@ type (
 	Connection = transport.Connection
 	// Subflow is one path-bound flow of a Connection.
 	Subflow = transport.Subflow
+	// SubflowState is a Subflow's failure-detector state (active/failed).
+	SubflowState = transport.SubflowState
+	// FaultInjector scripts link outages, flap cycles, and burst-loss
+	// windows on the virtual clock.
+	FaultInjector = netem.FaultInjector
+	// GilbertElliott parameterizes two-state burst loss on a Link.
+	GilbertElliott = netem.GilbertElliott
 	// Bulk is an infinite data source.
 	Bulk = transport.Bulk
+	// ConnOption tunes a Connection (pass via AttachOptions.ConnOptions).
+	ConnOption = transport.ConnOption
 	// Protocol names a congestion-control scheme.
 	Protocol = exp.Protocol
 	// AttachOptions tune protocol attachment.
@@ -88,8 +97,31 @@ const (
 	BBR         = exp.BBR
 )
 
+// Subflow failure-detector states.
+const (
+	SubflowActive = transport.SubflowActive
+	SubflowFailed = transport.SubflowFailed
+)
+
 // NewEngine returns a simulation engine seeded deterministically.
 func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
+
+// NewFaultInjector returns an injector scheduling link faults on eng's
+// clock. Every method returns a stop function cancelling the rest of its
+// schedule.
+func NewFaultInjector(eng *Engine) *FaultInjector { return netem.NewFaultInjector(eng) }
+
+// WithRcvBuf bounds the receiver's reassembly buffer (bytes); 0 means
+// unlimited.
+func WithRcvBuf(bytes int64) ConnOption { return transport.WithRcvBuf(bytes) }
+
+// WithFailThreshold sets how many consecutive RTO episodes fail a subflow;
+// n <= 0 disables the failure detector.
+func WithFailThreshold(n int) ConnOption { return transport.WithFailThreshold(n) }
+
+// WithProbeInterval sets how often a failed subflow probes for revival;
+// d <= 0 disables probing.
+func WithProbeInterval(d Time) ConnOption { return transport.WithProbeInterval(d) }
 
 // NewNetwork returns an empty network of named links on eng.
 func NewNetwork(eng *Engine) *Network { return topo.NewNet(eng) }
