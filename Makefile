@@ -8,13 +8,18 @@ build:
 test:
 	$(GO) test ./...
 
-# Tier-1 gate: vet plus the full test suite under the race detector.
+# Tier-1 gate: vet, the full test suite under the race detector (which also
+# exercises the parallel sweep runner), and a 1-iteration benchmark smoke so
+# a broken benchmark harness fails here rather than in make bench.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run '^$$' -bench BenchmarkEmulatorThroughput -benchtime 1x -benchmem .
 
+# Full benchmark pass; the output is echoed and also summarized into
+# BENCH_results.json (benchmark name → ns/op, events/op, allocs/op, …).
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_results.json
 
 # Short fuzz pass over every native fuzz target.
 fuzz:

@@ -1,0 +1,88 @@
+// Command benchjson turns `go test -bench` output into a JSON summary.
+//
+// It reads benchmark output on stdin, echoes it unchanged to stdout (so it
+// can sit in a pipe without hiding the run), and writes a JSON object
+// mapping benchmark name → metric → value to the -o file. Metrics are the
+// unit-suffixed columns of the standard bench line: ns/op, B/op, allocs/op,
+// plus any custom b.ReportMetric units such as events/op.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem . | benchjson -o BENCH_results.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// parseBenchLine extracts (name, metrics) from one benchmark result line,
+// e.g. "BenchmarkFoo-8  5  216056838 ns/op  304693 events/op  447459 allocs/op".
+// ok is false for non-benchmark lines.
+func parseBenchLine(line string) (name string, metrics map[string]float64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return "", nil, false // second column must be the iteration count
+	}
+	// Strip the -GOMAXPROCS suffix so names are stable across machines.
+	name = fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	metrics = make(map[string]float64)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return "", nil, false
+	}
+	return name, metrics, true
+}
+
+func main() {
+	out := flag.String("o", "BENCH_results.json", "output JSON file")
+	flag.Parse()
+
+	results := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if name, metrics, ok := parseBenchLine(line); ok {
+			results[name] = metrics
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found; not writing", *out)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(results), *out)
+}

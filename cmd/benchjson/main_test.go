@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	name, m, ok := parseBenchLine(
+		"BenchmarkEmulatorThroughput-8   \t       5\t 216056838 ns/op\t    304693 events/op\t  45671234 B/op\t  447459 allocs/op")
+	if !ok {
+		t.Fatal("expected a benchmark line to parse")
+	}
+	if name != "BenchmarkEmulatorThroughput" {
+		t.Fatalf("name = %q, want GOMAXPROCS suffix stripped", name)
+	}
+	want := map[string]float64{
+		"ns/op": 216056838, "events/op": 304693, "B/op": 45671234, "allocs/op": 447459,
+	}
+	for unit, v := range want {
+		if m[unit] != v {
+			t.Errorf("%s = %v, want %v", unit, m[unit], v)
+		}
+	}
+}
+
+func TestParseBenchLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tmpcc\t2.861s",
+		"BenchmarkBroken-8 results pending",
+		"",
+	} {
+		if _, _, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine(%q) unexpectedly parsed", line)
+		}
+	}
+}

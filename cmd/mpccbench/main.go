@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"time"
 
@@ -22,16 +23,18 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		id     = flag.String("exp", "", "experiment id (or \"all\")")
-		dur    = flag.Duration("dur", 20*time.Second, "virtual run duration")
-		warmup = flag.Duration("warmup", 8*time.Second, "warmup omitted from averages")
-		reps   = flag.Int("reps", 1, "repetitions to average")
-		seed   = flag.Int64("seed", 42, "base random seed")
-		full   = flag.Bool("full", false, "paper-scale sweeps (576-config grids, 75 MB downloads)")
-		csvdir = flag.String("csvdir", "", "also write each table as CSV into this directory")
+		list    = flag.Bool("list", false, "list available experiments")
+		id      = flag.String("exp", "", "experiment id (or \"all\")")
+		dur     = flag.Duration("dur", 20*time.Second, "virtual run duration")
+		warmup  = flag.Duration("warmup", 8*time.Second, "warmup omitted from averages")
+		reps    = flag.Int("reps", 1, "repetitions to average")
+		seed    = flag.Int64("seed", 42, "base random seed")
+		full    = flag.Bool("full", false, "paper-scale sweeps (576-config grids, 75 MB downloads)")
+		csvdir  = flag.String("csvdir", "", "also write each table as CSV into this directory")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations per sweep (1 = sequential); output is identical for any value")
 	)
 	flag.Parse()
+	exp.SetWorkers(*workers)
 
 	if *list || *id == "" {
 		fmt.Println("experiments:")
@@ -56,6 +59,7 @@ func main() {
 
 	run := func(e exp.Experiment) {
 		start := time.Now()
+		simsBefore := exp.SimsRun()
 		for i, t := range e.Run(cfg) {
 			t.Fprint(os.Stdout)
 			fmt.Println()
@@ -71,7 +75,14 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("[%s: %.1fs wall]\n\n", e.ID, time.Since(start).Seconds())
+		wall := time.Since(start).Seconds()
+		sims := exp.SimsRun() - simsBefore
+		rate := 0.0
+		if wall > 0 {
+			rate = float64(sims) / wall
+		}
+		fmt.Printf("[%s: %.1fs wall, %d sims, %.1f sims/s, %d workers]\n\n",
+			e.ID, wall, sims, rate, exp.Workers())
 	}
 
 	if *id == "all" {

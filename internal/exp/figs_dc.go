@@ -52,16 +52,22 @@ type DCResult map[Protocol]map[string]FCTClass
 
 // DataCenterFCT reproduces Fig. 19 on the Fig. 18 Clos testbed: every flow
 // is a 3-subflow multipath connection over ECMP-spread spine paths; flow
-// completion times are collected per size class.
+// completion times are collected per size class. Protocols run
+// concurrently, each on its own engine with the same seed.
 func DataCenterFCT(cfg Config, dc DCConfig) DCResult {
-	out := make(DCResult)
-	for _, p := range DCProtocols {
-		out[p] = runDC(cfg.Seed, p, dc)
+	results := make([]map[string]FCTClass, len(DCProtocols))
+	RunParallel(len(DCProtocols), func(i int) {
+		results[i] = runDC(cfg.Seed, DCProtocols[i], dc)
+	})
+	out := make(DCResult, len(DCProtocols))
+	for i, p := range DCProtocols {
+		out[p] = results[i]
 	}
 	return out
 }
 
 func runDC(seed int64, p Protocol, dc DCConfig) map[string]FCTClass {
+	defer countSim()
 	eng := sim.NewEngine(seed)
 	clos := topo.NewClos(eng, topo.DefaultClosConfig())
 	rng := eng.Rand()

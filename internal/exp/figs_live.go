@@ -30,26 +30,51 @@ func LiveDownloads(cfg Config) *LiveResult {
 	if cfg.Full {
 		fileBytes = 75_000_000
 	}
-	res := &LiveResult{FileBytes: fileBytes, Times: make(map[string]map[string]map[Protocol]float64)}
+	// Pre-enumerate the (home, server, protocol) matrix in loop order; each
+	// cell is an independent set of downloads, so the cells run concurrently
+	// and merge back into the nested maps in enumeration order.
+	type cell struct {
+		home, server string
+		pi           int
+	}
+	var jobs []cell
 	for _, home := range topo.Homes {
-		res.Times[home] = make(map[string]map[Protocol]float64)
 		for _, server := range topo.Servers {
-			res.Times[home][server] = make(map[Protocol]float64)
-			for pi, p := range LiveProtocols {
-				// One WAN draw per (pair, protocol, rep); reps average.
-				total := 0.0
-				for rep := 0; rep < cfg.Reps; rep++ {
-					seed := cfg.Seed + int64(rep)*1000 + int64(pi)
-					total += runDownload(seed, server, home, p, fileBytes)
-				}
-				res.Times[home][server][p] = total / float64(cfg.Reps)
+			for pi := range LiveProtocols {
+				jobs = append(jobs, cell{home, server, pi})
 			}
 		}
+	}
+	times := make([]float64, len(jobs))
+	RunParallel(len(jobs), func(i int) {
+		j := jobs[i]
+		// One WAN draw per (pair, protocol, rep); reps average.
+		total := 0.0
+		for rep := 0; rep < cfg.Reps; rep++ {
+			seed := cfg.Seed + int64(rep)*1000 + int64(j.pi)
+			total += runDownload(seed, j.server, j.home, LiveProtocols[j.pi], fileBytes)
+		}
+		times[i] = total / float64(cfg.Reps)
+	})
+	res := &LiveResult{FileBytes: fileBytes, Times: make(map[string]map[string]map[Protocol]float64)}
+	for i, j := range jobs {
+		hm := res.Times[j.home]
+		if hm == nil {
+			hm = make(map[string]map[Protocol]float64)
+			res.Times[j.home] = hm
+		}
+		sm := hm[j.server]
+		if sm == nil {
+			sm = make(map[Protocol]float64)
+			hm[j.server] = sm
+		}
+		sm[LiveProtocols[j.pi]] = times[i]
 	}
 	return res
 }
 
 func runDownload(seed int64, server, home string, p Protocol, fileBytes int64) float64 {
+	defer countSim()
 	eng := sim.NewEngine(seed)
 	// The WAN draw must be identical across protocols for a fair race, so
 	// it uses its own generator derived from the pair, not the engine's.

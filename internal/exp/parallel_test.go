@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mpcc/internal/sim"
+	"mpcc/internal/topo"
+)
+
+// withWorkers runs f with the process-wide worker count set to n, restoring
+// the previous value afterwards.
+func withWorkers(n int, f func()) {
+	prev := Workers()
+	SetWorkers(n)
+	defer SetWorkers(prev)
+	f()
+}
+
+func TestRunParallelCoversAllJobs(t *testing.T) {
+	for _, w := range []int{1, 2, 7, 64} {
+		const n = 100
+		got := make([]int64, n)
+		var calls atomic.Int64
+		withWorkers(w, func() {
+			RunParallel(n, func(i int) {
+				got[i] = int64(i * i)
+				calls.Add(1)
+			})
+		})
+		if calls.Load() != n {
+			t.Fatalf("workers=%d: %d calls, want %d", w, calls.Load(), n)
+		}
+		for i := range got {
+			if got[i] != int64(i*i) {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", w, i, got[i], i*i)
+			}
+		}
+	}
+}
+
+func TestRunParallelPropagatesPanic(t *testing.T) {
+	withWorkers(4, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic in a job did not propagate")
+			}
+		}()
+		RunParallel(16, func(i int) {
+			if i == 5 {
+				panic("boom")
+			}
+		})
+	})
+}
+
+// quickSpec is a small two-flow run that finishes fast enough to replicate.
+func quickSpec(seed int64) Spec {
+	return Spec{
+		Seed:     seed,
+		Duration: 3 * sim.Second,
+		Warmup:   1 * sim.Second,
+		Topo:     topo.Fig3c(),
+		Proto:    MPCCLatency,
+	}
+}
+
+// TestRunAveragedParallelIdentical is the determinism regression test for
+// the sweep runner: averaged results must be bit-identical between
+// sequential (workers=1) and concurrent execution. It runs under -race in
+// make check, which also shakes out data races in the runner itself.
+func TestRunAveragedParallelIdentical(t *testing.T) {
+	var seq, par *Result
+	withWorkers(1, func() { seq = RunAveraged(quickSpec(7), 3) })
+	withWorkers(8, func() { par = RunAveraged(quickSpec(7), 3) })
+
+	if seq.Utilization != par.Utilization || seq.Jain != par.Jain {
+		t.Errorf("utilization/jain differ: seq %v/%v, par %v/%v",
+			seq.Utilization, seq.Jain, par.Utilization, par.Jain)
+	}
+	if !reflect.DeepEqual(seq.Notes, par.Notes) {
+		t.Errorf("notes differ: %v vs %v", seq.Notes, par.Notes)
+	}
+	if !reflect.DeepEqual(seq.Flows, par.Flows) {
+		t.Errorf("per-flow results differ between workers=1 and workers=8")
+	}
+}
+
+// TestParameterGridParallelIdentical renders the Fig. 14 table at workers=1
+// and workers=8 and requires byte-identical output.
+func TestParameterGridParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid subsample is slow")
+	}
+	cfg := Config{Seed: 42, Duration: 2 * sim.Second, Warmup: 500 * sim.Millisecond, Reps: 1}
+	render := func() []byte {
+		g := ParameterGrid(cfg, topo.Fig3c, 96)
+		var buf bytes.Buffer
+		g.Table("grid").Fprint(&buf)
+		return buf.Bytes()
+	}
+	var seq, par []byte
+	withWorkers(1, func() { seq = render() })
+	withWorkers(8, func() { par = render() })
+	if !bytes.Equal(seq, par) {
+		t.Errorf("grid tables differ between workers=1 and workers=8:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
+	}
+}
+
+// TestMergeIntoSubflowMismatch checks the aggregation guard: replicates
+// that disagree on a flow's subflow count average over the common prefix
+// and record a note rather than panicking.
+func TestMergeIntoSubflowMismatch(t *testing.T) {
+	agg := &Result{Flows: map[string]*FlowResult{
+		"f": {GoodputBps: 10, MinGoodputBps: 10, MaxGoodputBps: 10, SubflowGoodputBps: []float64{4, 6}},
+	}}
+	res := &Result{Flows: map[string]*FlowResult{
+		"f": {GoodputBps: 20, SubflowGoodputBps: []float64{20}},
+	}}
+	mergeInto(agg, res)
+	a := agg.Flows["f"]
+	if got := a.SubflowGoodputBps; got[0] != 24 || got[1] != 6 {
+		t.Errorf("subflow aggregate = %v, want [24 6]", got)
+	}
+	if a.GoodputBps != 30 || a.MinGoodputBps != 10 || a.MaxGoodputBps != 20 {
+		t.Errorf("flow aggregate wrong: %+v", a)
+	}
+	if len(agg.Notes) != 1 || !strings.Contains(agg.Notes[0], "subflow count") {
+		t.Errorf("expected a subflow-count note, got %v", agg.Notes)
+	}
+}

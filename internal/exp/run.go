@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"mpcc/internal/netem"
 	"mpcc/internal/sim"
 	"mpcc/internal/stats"
@@ -62,6 +64,9 @@ type Result struct {
 	Jain float64
 	// Net gives Tweak-adjusted access to the built network (inspection).
 	Net *topo.Net
+	// Notes records aggregation anomalies (e.g. replicates disagreeing on
+	// subflow counts in RunAveraged).
+	Notes []string
 }
 
 // flowsFor derives the flow specs from a topology and the spec's protocols.
@@ -86,6 +91,7 @@ func (s *Spec) flowsFor() []FlowSpec {
 
 // Run executes the spec and summarizes it.
 func Run(s Spec) *Result {
+	defer countSim()
 	eng := sim.NewEngine(s.Seed)
 	net := s.Topo.Build(eng)
 	if s.Tweak != nil {
@@ -150,37 +156,22 @@ func scale(xs []float64, f float64) []float64 {
 
 // RunAveraged runs the spec reps times with consecutive seeds and averages
 // per-flow goodputs, utilization and Jain index. Series and FCT come from
-// the first run.
+// the first run. Replicates execute concurrently (see RunParallel) but are
+// merged in replicate order, so the output is identical for any worker
+// count.
 func RunAveraged(s Spec, reps int) *Result {
 	if reps < 1 {
 		reps = 1
 	}
-	var agg *Result
-	for r := 0; r < reps; r++ {
+	results := make([]*Result, reps)
+	RunParallel(reps, func(r int) {
 		rs := s
 		rs.Seed = s.Seed + int64(r)*1000
-		res := Run(rs)
-		if agg == nil {
-			agg = res
-			continue
-		}
-		agg.Utilization += res.Utilization
-		agg.Jain += res.Jain
-		for name, fr := range res.Flows {
-			a := agg.Flows[name]
-			a.GoodputBps += fr.GoodputBps
-			if fr.GoodputBps < a.MinGoodputBps {
-				a.MinGoodputBps = fr.GoodputBps
-			}
-			if fr.GoodputBps > a.MaxGoodputBps {
-				a.MaxGoodputBps = fr.GoodputBps
-			}
-			a.LatencyMean += fr.LatencyMean
-			a.LatencyStd += fr.LatencyStd
-			for i := range a.SubflowGoodputBps {
-				a.SubflowGoodputBps[i] += fr.SubflowGoodputBps[i]
-			}
-		}
+		results[r] = Run(rs)
+	})
+	agg := results[0]
+	for _, res := range results[1:] {
+		mergeInto(agg, res)
 	}
 	n := float64(reps)
 	agg.Utilization /= n
@@ -194,4 +185,43 @@ func RunAveraged(s Spec, reps int) *Result {
 		}
 	}
 	return agg
+}
+
+// mergeInto accumulates res into agg (one RunAveraged replicate). If the
+// replicates disagree on a flow's subflow count — possible when a fault
+// timeline permanently removes a subflow in some seeds — subflow goodputs
+// aggregate over the common prefix and the discrepancy is recorded in
+// agg.Notes instead of panicking on an index out of range.
+func mergeInto(agg, res *Result) {
+	agg.Utilization += res.Utilization
+	agg.Jain += res.Jain
+	for name, fr := range res.Flows {
+		a := agg.Flows[name]
+		if a == nil {
+			agg.Notes = append(agg.Notes,
+				fmt.Sprintf("flow %s: present in a later replicate only; skipped", name))
+			continue
+		}
+		a.GoodputBps += fr.GoodputBps
+		if fr.GoodputBps < a.MinGoodputBps {
+			a.MinGoodputBps = fr.GoodputBps
+		}
+		if fr.GoodputBps > a.MaxGoodputBps {
+			a.MaxGoodputBps = fr.GoodputBps
+		}
+		a.LatencyMean += fr.LatencyMean
+		a.LatencyStd += fr.LatencyStd
+		n := len(a.SubflowGoodputBps)
+		if len(fr.SubflowGoodputBps) != n {
+			if len(fr.SubflowGoodputBps) < n {
+				n = len(fr.SubflowGoodputBps)
+			}
+			agg.Notes = append(agg.Notes,
+				fmt.Sprintf("flow %s: replicates disagree on subflow count (%d vs %d); averaging the first %d",
+					name, len(a.SubflowGoodputBps), len(fr.SubflowGoodputBps), n))
+		}
+		for i := 0; i < n; i++ {
+			a.SubflowGoodputBps[i] += fr.SubflowGoodputBps[i]
+		}
+	}
 }

@@ -23,15 +23,23 @@ import (
 // Packet is the unit of transmission. Meta carries the transport layer's
 // per-packet state (segment identity, send timestamp) opaquely through the
 // network.
+//
+// Packets are pooled per Path (hence per engine): the path recycles a
+// packet as soon as it reaches its terminal event — delivery to the sink or
+// a drop — so sinks and drop callbacks must not retain the *Packet past
+// their own return (retaining Meta is fine; the pool never touches the
+// values Meta points to).
 type Packet struct {
 	Size   int // bytes on the wire
 	SentAt sim.Time
 	Meta   any
 
-	hops   []*Link
-	hop    int
-	sink   Sink
-	onDrop func(*Packet, DropReason)
+	hops     []*Link
+	hop      int
+	sink     Sink
+	onDrop   func(*Packet, DropReason)
+	owner    *Path    // pool to return to at the terminal event
+	arriveAt sim.Time // propagation arrival at the current link's far end
 }
 
 // Sink consumes packets at the end of a path.
@@ -311,17 +319,32 @@ func (l *Link) enqueue(pkt *Packet) {
 	if l.jitter > 0 {
 		delay += sim.Time(l.eng.Rand().Int63n(int64(l.jitter)))
 	}
-	l.eng.At(done, func() {
-		l.queuedBytes -= pkt.Size
-		l.stats.DeliveredBytes += uint64(pkt.Size)
-		arrive := done + delay
-		if arrive <= l.lastArrival {
-			arrive = l.lastArrival + 1 // keep deliveries in order under jitter
-		}
-		l.lastArrival = arrive
-		l.eng.At(arrive, func() { pkt.forward() })
-	})
+	// The arrival time can be fixed now rather than at the serialization-done
+	// event: per-link done times are monotonic in enqueue order (done =
+	// max(now, busyUntil)+tx), so the lastArrival in-order guard sees the same
+	// predecessor state here as it would at done-time, and delay/jitter were
+	// always sampled at enqueue. Precomputing lets both events run closure-free.
+	arrive := done + delay
+	if arrive <= l.lastArrival {
+		arrive = l.lastArrival + 1 // keep deliveries in order under jitter
+	}
+	l.lastArrival = arrive
+	pkt.arriveAt = arrive
+	l.eng.Schedule(done, linkDequeueEvent, pkt)
 }
+
+// linkDequeueEvent fires when pkt finishes serializing on its current link:
+// it releases the queue space and schedules the propagation arrival.
+func linkDequeueEvent(a any) {
+	pkt := a.(*Packet)
+	l := pkt.hops[pkt.hop-1]
+	l.queuedBytes -= pkt.Size
+	l.stats.DeliveredBytes += uint64(pkt.Size)
+	l.eng.Schedule(pkt.arriveAt, packetForwardEvent, pkt)
+}
+
+// packetForwardEvent fires when pkt reaches the far end of a link.
+func packetForwardEvent(a any) { a.(*Packet).forward() }
 
 func (l *Link) drop(pkt *Packet, reason DropReason) {
 	if l.OnDrop != nil {
@@ -330,6 +353,7 @@ func (l *Link) drop(pkt *Packet, reason DropReason) {
 	if pkt.onDrop != nil {
 		pkt.onDrop(pkt, reason)
 	}
+	pkt.owner.release(pkt)
 }
 
 // QueueingDelay returns the time a newly arriving packet would wait before

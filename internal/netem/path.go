@@ -17,6 +17,31 @@ type Path struct {
 	// reverseDelay is the feedback (ACK) one-way delay. If zero it defaults
 	// to the sum of forward propagation delays plus extraDelay.
 	reverseDelay sim.Time
+
+	// free recycles Packets: a path belongs to exactly one (single-threaded)
+	// engine, so a plain slice needs no locking — unlike a sync.Pool, which
+	// would cost an atomic per get/put and leak packets across engines.
+	free []*Packet
+}
+
+// acquire returns a zeroed packet owned by this path.
+func (p *Path) acquire() *Packet {
+	if n := len(p.free); n > 0 {
+		pkt := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return pkt
+	}
+	return &Packet{owner: p}
+}
+
+// release recycles pkt after its terminal event (delivery or drop).
+func (p *Path) release(pkt *Packet) {
+	if p == nil {
+		return // packet built outside a path pool (tests)
+	}
+	*pkt = Packet{owner: p}
+	p.free = append(p.free, pkt)
 }
 
 // NewPath builds a path over links on engine eng.
@@ -72,30 +97,41 @@ func (p *Path) BottleneckRate() float64 {
 // Send injects a packet of size bytes carrying meta onto the path. sink
 // receives it if it survives every link; onDrop (optional) is invoked if any
 // link drops it. The path-private extra delay is applied before the first
-// link.
-func (p *Path) Send(size int, meta any, sink Sink, onDrop func(*Packet, DropReason)) *Packet {
-	pkt := &Packet{
-		Size:   size,
-		SentAt: p.eng.Now(),
-		Meta:   meta,
-		hops:   p.links,
-		sink:   sink,
-		onDrop: onDrop,
-	}
+// link. The packet is owned by the path and recycled at its terminal event,
+// so neither sink nor onDrop may retain it past their return.
+func (p *Path) Send(size int, meta any, sink Sink, onDrop func(*Packet, DropReason)) {
+	pkt := p.acquire()
+	pkt.Size = size
+	pkt.SentAt = p.eng.Now()
+	pkt.Meta = meta
+	pkt.hops = p.links
+	pkt.sink = sink
+	pkt.onDrop = onDrop
 	if p.extraDelay > 0 {
-		p.eng.After(p.extraDelay, func() { pkt.forward() })
+		p.eng.Schedule(p.eng.Now()+p.extraDelay, packetForwardEvent, pkt)
 	} else {
 		pkt.forward()
 	}
-	return pkt
 }
 
 // SendFeedback delivers meta to sink after the path's reverse delay. It is
 // used for ACK traffic, which the emulator models as delay-only (see the
-// package comment).
+// package comment). Like Send, the delivered *Packet is recycled as soon as
+// the sink returns.
 func (p *Path) SendFeedback(meta any, sink Sink) {
-	pkt := &Packet{Size: 0, SentAt: p.eng.Now(), Meta: meta, sink: sink}
-	p.eng.After(p.ReverseDelay(), func() { sink.Deliver(pkt) })
+	pkt := p.acquire()
+	pkt.SentAt = p.eng.Now()
+	pkt.Meta = meta
+	pkt.sink = sink
+	p.eng.Schedule(p.eng.Now()+p.ReverseDelay(), feedbackDeliverEvent, pkt)
+}
+
+// feedbackDeliverEvent fires when a feedback packet completes its delay-only
+// reverse trip.
+func feedbackDeliverEvent(a any) {
+	pkt := a.(*Packet)
+	pkt.sink.Deliver(pkt)
+	pkt.owner.release(pkt)
 }
 
 // onDrop is stored on the packet so transports learn about their own losses
@@ -105,6 +141,7 @@ func (pkt *Packet) forward() {
 		if pkt.sink != nil {
 			pkt.sink.Deliver(pkt)
 		}
+		pkt.owner.release(pkt)
 		return
 	}
 	link := pkt.hops[pkt.hop]

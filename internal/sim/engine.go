@@ -4,11 +4,17 @@
 // All experiments in this repository run on a single Engine per simulation.
 // The engine is intentionally single-threaded: events execute one at a time
 // in (time, insertion-order) order, which makes every run bit-reproducible
-// for a given seed.
+// for a given seed. Distinct engines share no state, so independent
+// simulations may run concurrently (see exp.RunParallel).
+//
+// The event core is allocation-conscious: the timer queue is an inlined
+// monomorphic 4-ary heap (no container/heap, no interface boxing), and
+// anonymous events posted through Schedule recycle their Timer through a
+// per-engine free list. See DESIGN.md "Performance architecture" for the
+// free-list invariants.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -43,65 +49,59 @@ func (t Time) String() string { return time.Duration(t).String() }
 
 // Timer is a handle to a scheduled callback. It may be stopped before it
 // fires; stopping an already-fired or already-stopped timer is a no-op.
+//
+// Exactly one of fn (a closure, scheduled via At/After) or afn+arg (a
+// closure-free callback, scheduled via AtArg/Schedule) is set while the
+// timer is pending. Timers created by Schedule are pooled: they never
+// escape the engine, so they are recycled through the engine free list the
+// moment they fire. Timers returned by At/AtArg/After are never recycled —
+// callers may hold the handle arbitrarily long after firing and a stale
+// Stop must remain a harmless no-op, which a reused Timer could not
+// guarantee.
 type Timer struct {
 	at      Time
 	seq     uint64
 	fn      func()
-	index   int // heap index, -1 when not queued
+	afn     func(any)
+	arg     any
+	eng     *Engine
+	index   int32 // heap index, -1 when not queued
 	stopped bool
+	pooled  bool // owned by the engine free list (Schedule-created)
 }
 
 // At reports the virtual time the timer is scheduled to fire.
 func (t *Timer) At() Time { return t.at }
 
-// Stop cancels the timer. It reports whether the timer was still pending.
+// Stop cancels the timer and reports whether it was still pending. A
+// pending timer is removed from the heap immediately, so long-lived
+// simulations that cancel many timers (retransmission and pacing timers
+// cancel on every ACK) do not accumulate dead entries.
 func (t *Timer) Stop() bool {
-	if t == nil || t.stopped || t.index < 0 && t.fn == nil {
+	if t == nil || t.stopped {
 		return false
 	}
-	pending := !t.stopped && t.fn != nil
+	if t.fn == nil && t.afn == nil {
+		return false // already fired
+	}
 	t.stopped = true
-	return pending
+	if t.index >= 0 {
+		t.eng.removeAt(int(t.index))
+	}
+	t.fn, t.afn, t.arg = nil, nil, nil
+	return true
 }
 
 // Stopped reports whether Stop was called before the timer fired.
 func (t *Timer) Stopped() bool { return t.stopped }
-
-type timerHeap []*Timer
-
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h timerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *timerHeap) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*h)
-	*h = append(*h, t)
-}
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
-}
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
 	now     Time
 	seq     uint64
-	heap    timerHeap
+	heap    []*Timer // inlined 4-ary min-heap ordered by (at, seq)
+	free    []*Timer // recycled Schedule-created timers
 	rng     *rand.Rand
 	stopped bool
 	// Processed counts executed events, for diagnostics and benchmarks.
@@ -120,23 +120,189 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// At schedules fn to run at absolute virtual time at. Scheduling in the past
-// panics: it always indicates a logic error in a simulation component.
-func (e *Engine) At(at Time, fn func()) *Timer {
+// ---- 4-ary heap, ordered by (at, seq) ----
+//
+// The heap is monomorphic ([]*Timer, no `any` boxing) and 4-ary: sift-down
+// touches a quarter of the levels a binary heap would, which matters because
+// every event pops the root. Pop order is the total order (at, seq), so the
+// internal arrangement — and in particular eager removals — cannot affect
+// execution order.
+
+func timerLess(a, b *Timer) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(t *Timer) {
+	t.index = int32(len(e.heap))
+	e.heap = append(e.heap, t)
+	e.siftUp(len(e.heap) - 1)
+}
+
+// popMin removes and returns the earliest timer.
+func (e *Engine) popMin() *Timer {
+	h := e.heap
+	t := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[0].index = 0
+	h[n] = nil
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	t.index = -1
+	return t
+}
+
+// removeAt deletes the timer at heap position i (used by eager Stop).
+func (e *Engine) removeAt(i int) {
+	h := e.heap
+	n := len(h) - 1
+	t := h[i]
+	if i != n {
+		h[i] = h[n]
+		h[i].index = int32(i)
+	}
+	h[n] = nil
+	e.heap = h[:n]
+	if i < n {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+	t.index = -1
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	t := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !timerLess(t, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = int32(i)
+		i = p
+	}
+	h[i] = t
+	t.index = int32(i)
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	t := h[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		// Find the smallest of up to four children.
+		min := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if timerLess(h[j], h[min]) {
+				min = j
+			}
+		}
+		if !timerLess(h[min], t) {
+			break
+		}
+		h[i] = h[min]
+		h[i].index = int32(i)
+		i = min
+	}
+	h[i] = t
+	t.index = int32(i)
+}
+
+// ---- scheduling ----
+
+func (e *Engine) checkFuture(at Time) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
 	}
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// panics: it always indicates a logic error in a simulation component.
+func (e *Engine) At(at Time, fn func()) *Timer {
+	e.checkFuture(at)
 	e.seq++
-	t := &Timer{at: at, seq: e.seq, fn: fn, index: -1}
-	heap.Push(&e.heap, t)
+	t := &Timer{at: at, seq: e.seq, fn: fn, eng: e, index: -1}
+	e.push(t)
 	return t
+}
+
+// AtArg schedules afn(arg) at absolute virtual time at and returns a
+// cancellable handle. Unlike At it captures no closure: afn is typically a
+// static function and arg a pointer, so the only allocation is the Timer
+// itself. Use it on hot paths that need cancellation (retransmission and
+// pacing timers).
+func (e *Engine) AtArg(at Time, afn func(any), arg any) *Timer {
+	e.checkFuture(at)
+	e.seq++
+	t := &Timer{at: at, seq: e.seq, afn: afn, arg: arg, eng: e, index: -1}
+	e.push(t)
+	return t
+}
+
+// Schedule posts afn(arg) at absolute virtual time at with no cancellation
+// handle. The backing Timer comes from (and returns to) the engine free
+// list, so steady-state anonymous events — packet serialization, delivery,
+// feedback — allocate nothing. Only handle-free events may be pooled: a
+// recycled Timer must have no aliases, and Schedule never lets one escape.
+func (e *Engine) Schedule(at Time, afn func(any), arg any) {
+	e.checkFuture(at)
+	e.seq++
+	var t *Timer
+	if n := len(e.free); n > 0 {
+		t = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		t.at, t.seq, t.afn, t.arg, t.stopped = at, e.seq, afn, arg, false
+	} else {
+		t = &Timer{at: at, seq: e.seq, afn: afn, arg: arg, eng: e, index: -1, pooled: true}
+	}
+	e.push(t)
 }
 
 // After schedules fn to run d after the current time.
 func (e *Engine) After(d Time, fn func()) *Timer { return e.At(e.now+d, fn) }
 
+// release returns a fired pooled timer to the free list.
+func (e *Engine) release(t *Timer) {
+	t.afn, t.arg = nil, nil
+	e.free = append(e.free, t)
+}
+
 // Stop halts Run after the currently executing event returns.
 func (e *Engine) Stop() { e.stopped = true }
+
+// fire executes t's callback (t is already off the heap) and recycles
+// pooled timers.
+func (e *Engine) fire(t *Timer) {
+	e.now = t.at
+	e.Processed++
+	if t.fn != nil {
+		fn := t.fn
+		t.fn = nil
+		fn()
+		return
+	}
+	afn, arg := t.afn, t.arg
+	t.afn, t.arg = nil, nil
+	afn(arg)
+	if t.pooled {
+		e.free = append(e.free, t)
+	}
+}
 
 // Run executes events in order until the queue is empty, the horizon is
 // reached, or Stop is called. The clock is left at the time of the last
@@ -150,15 +316,11 @@ func (e *Engine) Run(horizon Time) {
 			e.now = horizon
 			return
 		}
-		heap.Pop(&e.heap)
+		e.popMin()
 		if next.stopped {
-			continue
+			continue // defensive: Stop removes eagerly, so this is rare
 		}
-		e.now = next.at
-		fn := next.fn
-		next.fn = nil
-		e.Processed++
-		fn()
+		e.fire(next)
 	}
 	if horizon > 0 && e.now < horizon && len(e.heap) == 0 {
 		e.now = horizon
@@ -169,19 +331,16 @@ func (e *Engine) Run(horizon Time) {
 // one was executed.
 func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
-		next := heap.Pop(&e.heap).(*Timer)
+		next := e.popMin()
 		if next.stopped {
 			continue
 		}
-		e.now = next.at
-		fn := next.fn
-		next.fn = nil
-		e.Processed++
-		fn()
+		e.fire(next)
 		return true
 	}
 	return false
 }
 
-// Pending returns the number of queued (possibly stopped) timers.
+// Pending returns the number of queued timers. Stopped timers are removed
+// from the queue eagerly, so they are never counted.
 func (e *Engine) Pending() int { return len(e.heap) }

@@ -140,6 +140,11 @@ func (c *Connection) newSubflow(path *netem.Path) *Subflow {
 		path:    path,
 		goodput: stats.NewSeries(0, metricBucket),
 	}
+	// Build the per-endpoint sinks once: converting a method value to a
+	// netem.Sink allocates, and the send path would otherwise do it per
+	// packet.
+	s.rxSink = netem.SinkFunc(s.receiverDeliver)
+	s.ackSink = netem.SinkFunc(s.senderAck)
 	c.subflows = append(c.subflows, s)
 	return s
 }

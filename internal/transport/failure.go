@@ -110,6 +110,7 @@ func (s *Subflow) fail() {
 		s.inflightPkts--
 		if rec.rto != nil {
 			rec.rto.Stop()
+			rec.rto = nil
 		}
 		if !rec.seg.delivered {
 			s.retx = append(s.retx, rec.seg)

@@ -78,6 +78,13 @@ type Subflow struct {
 	rxPending []*pktRec
 	rxTimer   *sim.Timer
 
+	// allocation recycling: sinks are built once (a method value allocates
+	// on every conversion), and ACK batch slices cycle sender→receiver
+	// within this subflow, which simulates both endpoints.
+	rxSink     netem.Sink
+	ackSink    netem.Sink
+	ackBatches [][]*pktRec
+
 	// metrics
 	goodput        *stats.Series // first-delivery bytes, bucketed
 	deliveredBytes int64
@@ -254,11 +261,22 @@ func (s *Subflow) finalizeMIs() {
 	}
 }
 
+// paceEvent and rtoEvent are static callbacks for sim.AtArg: scheduling
+// them allocates no closure, only the Timer.
+func paceEvent(a any) { a.(*Subflow).pace() }
+
+func rtoEvent(a any) {
+	rec := a.(*pktRec)
+	rec.sf.onRTOTimer(rec)
+}
+
+func flushAcksEvent(a any) { a.(*Subflow).flushAcks() }
+
 func (s *Subflow) armPacer(at sim.Time) {
 	if s.pacerTimer != nil {
 		s.pacerTimer.Stop()
 	}
-	s.pacerTimer = s.conn.eng.At(at, s.pace)
+	s.pacerTimer = s.conn.eng.AtArg(at, paceEvent, s)
 }
 
 // pace transmits the next packet if the pacing schedule and inflight cap
@@ -356,8 +374,19 @@ func (s *Subflow) transmit(seg *segment) {
 		rec.mi = mi
 		mi.onSend(seg.size)
 	}
-	rec.rto = s.conn.eng.At(now+s.backedOffRTO(), func() { s.onRTOTimer(rec) })
-	s.path.Send(seg.size, rec, netem.SinkFunc(s.receiverDeliver), nil)
+	rec.rto = s.conn.eng.AtArg(now+s.backedOffRTO(), rtoEvent, rec)
+	s.path.Send(seg.size, rec, s.rxSink, nil)
+}
+
+// newAckBatch returns a recycled (or fresh) batch slice seeded with rec.
+func (s *Subflow) newAckBatch(rec *pktRec) []*pktRec {
+	if n := len(s.ackBatches); n > 0 {
+		b := s.ackBatches[n-1]
+		s.ackBatches[n-1] = nil
+		s.ackBatches = s.ackBatches[:n-1]
+		return append(b, rec)
+	}
+	return append(make([]*pktRec, 0, 4), rec)
 }
 
 // receiverDeliver runs at the receiving endpoint. With per-packet ACKs
@@ -368,16 +397,20 @@ func (s *Subflow) receiverDeliver(pkt *netem.Packet) {
 	rec := pkt.Meta.(*pktRec)
 	s.conn.onArrival(rec.seg.off, rec.size)
 	if s.conn.ackEvery <= 1 {
-		s.path.SendFeedback([]*pktRec{rec}, netem.SinkFunc(s.senderAck))
+		s.path.SendFeedback(s.newAckBatch(rec), s.ackSink)
 		return
 	}
-	s.rxPending = append(s.rxPending, rec)
+	if s.rxPending == nil {
+		s.rxPending = s.newAckBatch(rec)
+	} else {
+		s.rxPending = append(s.rxPending, rec)
+	}
 	if len(s.rxPending) >= s.conn.ackEvery {
 		s.flushAcks()
 		return
 	}
 	if s.rxTimer == nil {
-		s.rxTimer = s.conn.eng.After(s.conn.ackTimeout, s.flushAcks)
+		s.rxTimer = s.conn.eng.AtArg(s.conn.eng.Now()+s.conn.ackTimeout, flushAcksEvent, s)
 	}
 }
 
@@ -391,20 +424,28 @@ func (s *Subflow) flushAcks() {
 	}
 	batch := s.rxPending
 	s.rxPending = nil
-	s.path.SendFeedback(batch, netem.SinkFunc(s.senderAck))
+	s.path.SendFeedback(batch, s.ackSink)
 }
 
-// senderAck processes an acknowledgement batch back at the sender.
+// senderAck processes an acknowledgement batch back at the sender, then
+// recycles the batch slice (its packet is released by the path right after
+// this returns, so nothing else can still reference the slice).
 func (s *Subflow) senderAck(fb *netem.Packet) {
-	for _, rec := range fb.Meta.([]*pktRec) {
+	batch := fb.Meta.([]*pktRec)
+	for _, rec := range batch {
 		s.handleAck(rec)
 	}
+	for i := range batch {
+		batch[i] = nil
+	}
+	s.ackBatches = append(s.ackBatches, batch[:0])
 }
 
 func (s *Subflow) handleAck(rec *pktRec) {
 	now := s.conn.eng.Now()
 	if rec.rto != nil {
 		rec.rto.Stop()
+		rec.rto = nil
 	}
 	if rec.acked {
 		return
