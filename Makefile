@@ -8,10 +8,13 @@ build:
 test:
 	$(GO) test ./...
 
-# Tier-1 gate: vet, the full test suite under the race detector (which also
-# exercises the parallel sweep runner), and a 1-iteration benchmark smoke so
-# a broken benchmark harness fails here rather than in make bench.
+# Tier-1 gate: formatting cleanliness, vet, the full test suite under the
+# race detector (which also exercises the parallel sweep runner), and a
+# 1-iteration benchmark smoke so a broken benchmark harness fails here
+# rather than in make bench.
 check:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -bench BenchmarkEmulatorThroughput -benchtime 1x -benchmem .

@@ -154,6 +154,35 @@ func BenchmarkAblationOmegaBase(b *testing.B)          { runExp(b, "ablation-ome
 func BenchmarkAblationNoPublication(b *testing.B)      { runExp(b, "ablation-publication", benchCfg()) }
 func BenchmarkAblationSchedulerThreshold(b *testing.B) { runExp(b, "ablation-threshold", benchCfg()) }
 
+// BenchmarkProbeOverheadDisabled measures the disabled-observability fast
+// path: every emit helper on a nil probe bus, i.e. exactly what the hot
+// loops of netem/transport/cc pay per event when no one is tracing. The
+// final assertion enforces the obs-layer contract that this path allocates
+// nothing, keeping BenchmarkEmulatorThroughput's allocs/op untouched.
+func BenchmarkProbeOverheadDisabled(b *testing.B) {
+	var bus *mpcc.ProbeBus // nil = disabled
+	emitAll := func(at mpcc.Time) {
+		bus.MIDecision(at, "f", 0, "probing", 1e7)
+		bus.UtilitySample(at, "f", 0, "probing", 1e7, 3.5)
+		bus.RateChange(at, "f", 1, 2e7)
+		bus.Drop(at, "l1", 0, 1500)
+		bus.QueueDepth(at, "l1", 4500)
+		bus.Retransmit(at, "f", 0, 1500)
+		bus.RTOBackoff(at, "f", 0, mpcc.Second, 2)
+		bus.SubflowDown(at, "f", 1)
+		bus.SubflowUp(at, "f", 1)
+		bus.SchedPick(at, "f", 0, 1500)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		emitAll(mpcc.Time(i))
+	}
+	b.StopTimer()
+	if allocs := testing.AllocsPerRun(1000, func() { emitAll(0) }); allocs != 0 {
+		b.Fatalf("disabled probes allocated %v times per emit batch, want 0", allocs)
+	}
+}
+
 // BenchmarkEmulatorThroughput measures raw simulator speed: events per
 // second for a saturated MPCC₂ run (useful when sizing paper-scale sweeps).
 func BenchmarkEmulatorThroughput(b *testing.B) {

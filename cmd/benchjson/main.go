@@ -1,10 +1,16 @@
 // Command benchjson turns `go test -bench` output into a JSON summary.
 //
 // It reads benchmark output on stdin, echoes it unchanged to stdout (so it
-// can sit in a pipe without hiding the run), and writes a JSON object
-// mapping benchmark name → metric → value to the -o file. Metrics are the
-// unit-suffixed columns of the standard bench line: ns/op, B/op, allocs/op,
-// plus any custom b.ReportMetric units such as events/op.
+// can sit in a pipe without hiding the run), and writes a JSON object with
+// two top-level keys to the -o file:
+//
+//	meta        — run environment: go version, GOMAXPROCS, CPU count, git
+//	              revision, and wall-clock seconds spent consuming the run,
+//	              so bench-trajectory entries are comparable across machines
+//	benchmarks  — benchmark name → metric → value
+//
+// Metrics are the unit-suffixed columns of the standard bench line: ns/op,
+// B/op, allocs/op, plus any custom b.ReportMetric units such as events/op.
 //
 // Usage:
 //
@@ -17,9 +23,38 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
+
+// meta records the environment a benchmark run executed in.
+type meta struct {
+	GoVersion   string  `json:"go_version"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu"`
+	Workers     int     `json:"workers"`
+	GitRev      string  `json:"git_rev"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// output is the shape of the -o file.
+type output struct {
+	Meta       meta                          `json:"meta"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// gitRev returns the short commit hash of the working tree, or "unknown"
+// when git or the repository is unavailable (e.g. an exported tarball).
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
 
 // parseBenchLine extracts (name, metrics) from one benchmark result line,
 // e.g. "BenchmarkFoo-8  5  216056838 ns/op  304693 events/op  447459 allocs/op".
@@ -55,8 +90,11 @@ func parseBenchLine(line string) (name string, metrics map[string]float64, ok bo
 
 func main() {
 	out := flag.String("o", "BENCH_results.json", "output JSON file")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"worker count the benchmarked run used (sweep runners pass theirs; benchmarks default to GOMAXPROCS)")
 	flag.Parse()
 
+	start := time.Now()
 	results := make(map[string]map[string]float64)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -75,7 +113,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found; not writing", *out)
 		os.Exit(1)
 	}
-	data, err := json.MarshalIndent(results, "", "  ")
+	// Stdin is a pipe from the live `go test -bench` run, so time-to-EOF is
+	// the run's wall clock (plus negligible echo overhead).
+	doc := output{
+		Meta: meta{
+			GoVersion:   runtime.Version(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			NumCPU:      runtime.NumCPU(),
+			Workers:     *workers,
+			GitRev:      gitRev(),
+			WallSeconds: time.Since(start).Seconds(),
+		},
+		Benchmarks: results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)

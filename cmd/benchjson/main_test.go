@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	name, m, ok := parseBenchLine(
@@ -32,5 +36,52 @@ func TestParseBenchLineRejectsNonBench(t *testing.T) {
 		if _, _, ok := parseBenchLine(line); ok {
 			t.Errorf("parseBenchLine(%q) unexpectedly parsed", line)
 		}
+	}
+}
+
+func TestGitRev(t *testing.T) {
+	// Inside this repository the short hash resolves; the fallback only
+	// triggers outside a work tree, so just check the shape.
+	rev := gitRev()
+	if rev == "" {
+		t.Fatal("empty git revision")
+	}
+	if rev != "unknown" && len(rev) < 7 {
+		t.Fatalf("implausible short hash %q", rev)
+	}
+}
+
+func TestOutputShape(t *testing.T) {
+	doc := output{
+		Meta: meta{
+			GoVersion:   runtime.Version(),
+			GOMAXPROCS:  8,
+			NumCPU:      16,
+			Workers:     8,
+			GitRev:      "abc1234",
+			WallSeconds: 12.5,
+		},
+		Benchmarks: map[string]map[string]float64{
+			"BenchmarkX": {"ns/op": 100},
+		},
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Meta map[string]any            `json:"meta"`
+		B    map[string]map[string]any `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"go_version", "gomaxprocs", "num_cpu", "workers", "git_rev", "wall_seconds"} {
+		if _, ok := back.Meta[key]; !ok {
+			t.Errorf("meta missing %q", key)
+		}
+	}
+	if back.B["BenchmarkX"]["ns/op"] != 100.0 {
+		t.Errorf("benchmarks section mangled: %v", back.B)
 	}
 }

@@ -6,6 +6,8 @@
 //	mpccbench -list
 //	mpccbench -exp fig5a [-dur 20s] [-warmup 8s] [-reps 3] [-seed 42] [-full]
 //	mpccbench -exp all
+//	mpccbench -exp fig5a -trace fig5a.jsonl   # JSONL probe trace (forces -workers 1)
+//	mpccbench -exp fig14 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 package main
 
 import (
@@ -14,10 +16,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
 	"mpcc/internal/exp"
+	"mpcc/internal/obs"
 	"mpcc/internal/sim"
 )
 
@@ -32,9 +36,57 @@ func main() {
 		full    = flag.Bool("full", false, "paper-scale sweeps (576-config grids, 75 MB downloads)")
 		csvdir  = flag.String("csvdir", "", "also write each table as CSV into this directory")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations per sweep (1 = sequential); output is identical for any value")
+		tracef  = flag.String("trace", "", "write a JSONL probe trace of every simulation to this file (forces -workers 1 for run-order reproducibility)")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 	exp.SetWorkers(*workers)
+
+	if *tracef != "" {
+		f, err := os.Create(*tracef)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		jw := obs.NewJSONLWriter(f)
+		defer jw.Close()
+		// One writer shared by all runs, a fresh bus+registry per run; the
+		// run-start/run-end markers segment the trace. Concurrent runs would
+		// interleave whole events safely but in nondeterministic order, so
+		// tracing forces sequential execution.
+		exp.SetProbeFactory(func() *obs.Bus { return obs.NewBus(jw) })
+		exp.SetWorkers(1)
+	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list || *id == "" {
 		fmt.Println("experiments:")

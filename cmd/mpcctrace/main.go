@@ -1,0 +1,371 @@
+// Command mpcctrace analyzes JSONL probe traces produced by the obs layer
+// (mpccbench -trace, or any obs.JSONLWriter sink).
+//
+// Usage:
+//
+//	mpcctrace summary [-run N] [trace.jsonl]
+//	mpcctrace filter [-kind k] [-flow f] [-link l] [-sf n] [-run N] [trace.jsonl]
+//	mpcctrace csv -kind k [-bucket 100ms] [-run N] [trace.jsonl]
+//
+// With no file argument the trace is read from stdin. A trace may contain
+// several runs (segmented by run-start/run-end markers); -run selects one by
+// zero-based index, the default being all runs for summary/filter and the
+// first run for csv (concatenated runs overlap in virtual time, so a
+// time-series export of more than one is rarely meaningful).
+//
+// summary replays events through the same metrics registry the live run
+// used (exp.Result.Obs), so its counters and histogram percentiles match
+// the in-run snapshot exactly. filter re-emits matching events as JSONL,
+// preserving the stable field order. csv converts events to the aligned
+// time-series CSV of internal/trace for plotting: event-count kinds
+// (drop, retransmit, sched-pick) aggregate as bytes per bucket, level
+// kinds (rate-change, mi-decision, utility, rto-backoff, queue-depth) as
+// the bucket mean.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"mpcc/internal/obs"
+	"mpcc/internal/sim"
+	"mpcc/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: mpcctrace <summary|filter|csv> [flags] [trace.jsonl]")
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	cmd, args := args[0], args[1:]
+	switch cmd {
+	case "summary":
+		return cmdSummary(args, stdin, stdout)
+	case "filter":
+		return cmdFilter(args, stdin, stdout)
+	case "csv":
+		return cmdCSV(args, stdin, stdout)
+	default:
+		return usage()
+	}
+}
+
+// openInput resolves the optional trailing file argument.
+func openInput(fs *flag.FlagSet, stdin io.Reader) (io.Reader, func(), error) {
+	switch fs.NArg() {
+	case 0:
+		return stdin, func() {}, nil
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, func() { f.Close() }, nil
+	default:
+		return nil, nil, fmt.Errorf("at most one trace file argument, got %d", fs.NArg())
+	}
+}
+
+// forEachRun streams the trace, tracking run boundaries, and calls fn for
+// every event (markers included) whose run index matches sel (-1 = all).
+// Events before any run-start marker belong to run 0.
+func forEachRun(r io.Reader, sel int, fn func(runIdx int, e obs.Event) error) (runs int, err error) {
+	idx, started := 0, false
+	err = obs.ReadTrace(r, func(e obs.Event) error {
+		if e.Kind == obs.KindRunStart {
+			if started {
+				idx++
+			}
+			started = true
+		}
+		if sel < 0 || idx == sel {
+			if err := fn(idx, e); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if !started && idx == 0 {
+		// A headerless trace still counts as one run if it had any events;
+		// callers that care check their own accumulators.
+		return 1, err
+	}
+	return idx + 1, err
+}
+
+// ---- summary ----
+
+type runAgg struct {
+	reg     *obs.Registry
+	events  int
+	seed    int64
+	horizon float64
+	endAt   sim.Time
+	hasSeed bool
+}
+
+func cmdSummary(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
+	runSel := fs.Int("run", -1, "summarize only this run (0-based; -1 = every run)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in, done, err := openInput(fs, stdin)
+	if err != nil {
+		return err
+	}
+	defer done()
+
+	aggs := map[int]*runAgg{}
+	var order []int
+	_, err = forEachRun(in, *runSel, func(idx int, e obs.Event) error {
+		a := aggs[idx]
+		if a == nil {
+			a = &runAgg{reg: obs.NewRegistry()}
+			aggs[idx] = a
+			order = append(order, idx)
+		}
+		switch e.Kind {
+		case obs.KindRunStart:
+			a.seed, a.horizon, a.hasSeed = e.Bytes, e.Value, true
+		case obs.KindRunEnd:
+			a.endAt = e.At
+		default:
+			a.events++
+			a.reg.Record(e)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(order) == 0 {
+		return fmt.Errorf("no events%s", selNote(*runSel))
+	}
+	for i, idx := range order {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		a := aggs[idx]
+		fmt.Fprintf(stdout, "run %d:", idx)
+		if a.hasSeed {
+			fmt.Fprintf(stdout, " seed=%d horizon=%gs", a.seed, a.horizon)
+		}
+		if a.endAt > 0 {
+			fmt.Fprintf(stdout, " end=%v", a.endAt)
+		}
+		fmt.Fprintf(stdout, " events=%d\n", a.events)
+		printSnapshot(stdout, a.reg.Snapshot())
+	}
+	return nil
+}
+
+func printSnapshot(w io.Writer, s *obs.Snapshot) {
+	fmt.Fprintln(w, "counters:")
+	for _, name := range s.SortedCounterNames() {
+		fmt.Fprintf(w, "  %-24s %g\n", name, s.Counters[name])
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, name := range s.SortedGaugeNames() {
+			fmt.Fprintf(w, "  %-24s %g\n", name, s.Gauges[name])
+		}
+	}
+	fmt.Fprintln(w, "histograms:")
+	for _, name := range s.SortedHistogramNames() {
+		h := s.Histograms[name]
+		fmt.Fprintf(w, "  %-24s count=%d min=%g mean=%g p50=%g p90=%g p99=%g max=%g\n",
+			name, h.Count, h.Min, h.Mean, h.P50, h.P90, h.P99, h.Max)
+	}
+}
+
+func selNote(sel int) string {
+	if sel < 0 {
+		return ""
+	}
+	return fmt.Sprintf(" in run %d", sel)
+}
+
+// ---- filter ----
+
+func cmdFilter(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("filter", flag.ContinueOnError)
+	runSel := fs.Int("run", -1, "keep only this run (0-based; -1 = every run)")
+	kind := fs.String("kind", "", "keep only this event kind (e.g. drop, rate-change)")
+	flow := fs.String("flow", "", "keep only this flow")
+	link := fs.String("link", "", "keep only this link")
+	sf := fs.Int("sf", -2, "keep only this subflow index")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var wantKind obs.Kind
+	haveKind := false
+	if *kind != "" {
+		var ok bool
+		if wantKind, ok = obs.KindFromString(*kind); !ok {
+			return fmt.Errorf("unknown kind %q", *kind)
+		}
+		haveKind = true
+	}
+	in, done, err := openInput(fs, stdin)
+	if err != nil {
+		return err
+	}
+	defer done()
+
+	var buf []byte
+	matched := 0
+	_, err = forEachRun(in, *runSel, func(_ int, e obs.Event) error {
+		if haveKind && e.Kind != wantKind {
+			return nil
+		}
+		if *flow != "" && e.Flow != *flow {
+			return nil
+		}
+		if *link != "" && e.Link != *link {
+			return nil
+		}
+		if *sf != -2 && int(e.Subflow) != *sf {
+			return nil
+		}
+		matched++
+		buf = obs.AppendEvent(buf[:0], e)
+		_, werr := stdout.Write(buf)
+		return werr
+	})
+	if err != nil {
+		return err
+	}
+	if matched == 0 {
+		return fmt.Errorf("no events matched%s", selNote(*runSel))
+	}
+	return nil
+}
+
+// ---- csv ----
+
+// levelKind reports whether the kind's natural per-bucket aggregate is the
+// mean of a level (rates, utilities, RTOs, queue depths) rather than a sum
+// of bytes.
+func levelKind(k obs.Kind) bool {
+	switch k {
+	case obs.KindMIDecision, obs.KindUtility, obs.KindRateChange,
+		obs.KindRTOBackoff, obs.KindQueueDepth:
+		return true
+	}
+	return false
+}
+
+func eventValue(e obs.Event) float64 {
+	switch e.Kind {
+	case obs.KindMIDecision, obs.KindUtility, obs.KindRateChange, obs.KindRTOBackoff:
+		return e.Value
+	}
+	return float64(e.Bytes)
+}
+
+func seriesKey(e obs.Event) string {
+	if e.Link != "" {
+		return e.Link
+	}
+	if e.Subflow >= 0 {
+		return fmt.Sprintf("%s/sf%d", e.Flow, e.Subflow)
+	}
+	return e.Flow
+}
+
+func cmdCSV(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("csv", flag.ContinueOnError)
+	runSel := fs.Int("run", 0, "run to export (0-based)")
+	kind := fs.String("kind", "", "event kind to export (required; e.g. rate-change, queue-depth)")
+	bucket := fs.Duration("bucket", 100*time.Millisecond, "time-bucket width")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *kind == "" {
+		return fmt.Errorf("csv: -kind is required")
+	}
+	wantKind, ok := obs.KindFromString(*kind)
+	if !ok {
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if *runSel < 0 {
+		return fmt.Errorf("csv: -run must name a single run")
+	}
+	if *bucket <= 0 {
+		return fmt.Errorf("csv: -bucket must be positive")
+	}
+	in, done, err := openInput(fs, stdin)
+	if err != nil {
+		return err
+	}
+	defer done()
+
+	bw := sim.FromDuration(*bucket)
+	type acc struct {
+		sum   []float64
+		count []int
+	}
+	byKey := map[string]*acc{}
+	var keys []string
+	maxBucket := -1
+	_, err = forEachRun(in, *runSel, func(_ int, e obs.Event) error {
+		if e.Kind != wantKind {
+			return nil
+		}
+		key := seriesKey(e)
+		a := byKey[key]
+		if a == nil {
+			a = &acc{}
+			byKey[key] = a
+			keys = append(keys, key)
+		}
+		b := int(e.At / bw)
+		for len(a.sum) <= b {
+			a.sum = append(a.sum, 0)
+			a.count = append(a.count, 0)
+		}
+		a.sum[b] += eventValue(e)
+		a.count[b]++
+		if b > maxBucket {
+			maxBucket = b
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(keys) == 0 {
+		return fmt.Errorf("no %s events%s", wantKind, selNote(*runSel))
+	}
+	sort.Strings(keys)
+	mean := levelKind(wantKind)
+	series := make([][]float64, len(keys))
+	for i, key := range keys {
+		a := byKey[key]
+		out := make([]float64, maxBucket+1)
+		for b := range a.sum {
+			v := a.sum[b]
+			if mean && a.count[b] > 0 {
+				v /= float64(a.count[b])
+			}
+			out[b] = v
+		}
+		series[i] = out
+	}
+	return trace.WriteSeriesCSV(stdout, bw, keys, series...)
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mpcc/internal/exp"
+	"mpcc/internal/obs"
+	"mpcc/internal/sim"
+	"mpcc/internal/topo"
+)
+
+// liveTrace runs a small probed simulation twice (two seeds) into one shared
+// JSONL writer — the same shape mpccbench -trace produces — and returns the
+// trace bytes plus the per-run registry snapshots.
+func liveTrace(t *testing.T) ([]byte, []*obs.Snapshot) {
+	t.Helper()
+	var buf bytes.Buffer
+	jw := obs.NewJSONLWriter(&buf)
+	var snaps []*obs.Snapshot
+	for _, seed := range []int64{7, 8} {
+		res := exp.Run(exp.Spec{
+			Seed: seed, Duration: 2 * sim.Second, Warmup: sim.Second,
+			Topo: topo.Fig3c(), Proto: exp.MPCCLoss, Probes: obs.NewBus(jw),
+		})
+		snaps = append(snaps, res.Obs)
+	}
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), snaps
+}
+
+func runTool(t *testing.T, args []string, stdin []byte) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(args, bytes.NewReader(stdin), &out)
+	return out.String(), err
+}
+
+func TestSummaryMatchesLiveSnapshots(t *testing.T) {
+	trace, snaps := liveTrace(t)
+	for runIdx, snap := range snaps {
+		out, err := runTool(t, []string{"summary", "-run", strconv.Itoa(runIdx)}, trace)
+		if err != nil {
+			t.Fatalf("summary -run %d: %v", runIdx, err)
+		}
+		// Every live counter must be reported with its exact value (the
+		// engine gauges never enter the trace and are not expected here).
+		for _, name := range snap.SortedCounterNames() {
+			want := fmt.Sprintf("%-24s %g", name, snap.Counters[name])
+			if !strings.Contains(out, want) {
+				t.Errorf("run %d summary missing %q\noutput:\n%s", runIdx, want, out)
+			}
+		}
+		qd := snap.Histograms["queue_depth_bytes"]
+		for _, frag := range []string{
+			"queue_depth_bytes",
+			fmt.Sprintf("count=%d", qd.Count),
+			fmt.Sprintf("p50=%g", qd.P50),
+			fmt.Sprintf("p99=%g", qd.P99),
+		} {
+			if !strings.Contains(out, frag) {
+				t.Errorf("run %d summary missing %q for queue_depth_bytes\noutput:\n%s", runIdx, frag, out)
+			}
+		}
+	}
+}
+
+func TestSummaryAllRuns(t *testing.T) {
+	trace, snaps := liveTrace(t)
+	out, err := runTool(t, []string{"summary"}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "run 0: seed=7") || !strings.Contains(out, "run 1: seed=8") {
+		t.Fatalf("multi-run summary missing run headers:\n%s", out)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("expected 2 snapshots, got %d", len(snaps))
+	}
+}
+
+func TestFilterRoundTripsBytes(t *testing.T) {
+	trace, _ := liveTrace(t)
+	// A no-op filter must re-emit the trace byte-identically.
+	out, err := runTool(t, []string{"filter"}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(trace) {
+		t.Fatal("unfiltered output differs from input trace")
+	}
+
+	// Kind filtering keeps only matching events.
+	out, err = runTool(t, []string{"filter", "-kind", "drop"}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.Contains(line, `"kind":"drop"`) {
+			t.Fatalf("non-drop line in filtered output: %s", line)
+		}
+	}
+
+	// Flow + subflow filtering compose.
+	out, err = runTool(t, []string{"filter", "-flow", "mp", "-sf", "0"}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.Contains(line, `"flow":"mp"`) || !strings.Contains(line, `"sf":0`) {
+			t.Fatalf("filter leaked line: %s", line)
+		}
+	}
+
+	// An impossible filter errors rather than writing an empty file silently.
+	if _, err := runTool(t, []string{"filter", "-flow", "nope"}, trace); err == nil {
+		t.Fatal("empty filter result did not error")
+	}
+	if _, err := runTool(t, []string{"filter", "-kind", "bogus"}, trace); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	trace, _ := liveTrace(t)
+	out, err := runTool(t, []string{"csv", "-kind", "queue-depth", "-bucket", "500ms"}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "t_seconds,link1,link2" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	// 2 s horizon at 500 ms buckets → 5 data rows (a sample lands exactly
+	// at t=2.0 s), first at t=0.
+	if len(lines) != 6 {
+		t.Fatalf("csv rows = %d, want 6:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "0.000,") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+
+	// Level kinds export per-subflow series keyed flow/sfN.
+	out, err = runTool(t, []string{"csv", "-kind", "mi-decision"}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := strings.Split(strings.TrimSpace(out), "\n")[0]
+	if !strings.Contains(header, "mp/sf0") || !strings.Contains(header, "mp/sf1") {
+		t.Fatalf("mi-decision header missing subflow series: %q", header)
+	}
+
+	// Run selection: run 1 exists, run 2 does not.
+	if _, err := runTool(t, []string{"csv", "-kind", "drop", "-run", "1"}, trace); err != nil {
+		t.Fatalf("run 1 export failed: %v", err)
+	}
+	if _, err := runTool(t, []string{"csv", "-kind", "drop", "-run", "2"}, trace); err == nil {
+		t.Fatal("nonexistent run accepted")
+	}
+	if _, err := runTool(t, []string{"csv"}, trace); err == nil {
+		t.Fatal("missing -kind accepted")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if _, err := runTool(t, nil, nil); err == nil {
+		t.Fatal("no subcommand accepted")
+	}
+	if _, err := runTool(t, []string{"explode"}, nil); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if _, err := runTool(t, []string{"summary"}, nil); err == nil {
+		t.Fatal("empty stdin summarized without error")
+	}
+}

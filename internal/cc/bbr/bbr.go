@@ -11,6 +11,7 @@ package bbr
 
 import (
 	"mpcc/internal/cc"
+	"mpcc/internal/obs"
 	"mpcc/internal/sim"
 	"mpcc/internal/stats"
 )
@@ -58,6 +59,10 @@ type Controller struct {
 	cycleIdx     int
 	lastProbeRTT sim.Time
 	probeRTTEnd  sim.Time
+
+	probes *obs.Bus
+	flow   string
+	sf     int
 }
 
 // New returns a BBR controller with the given initial pacing rate in bits/s.
@@ -90,8 +95,21 @@ func (c *Controller) rtEstimate(now sim.Time, fallback sim.Time) sim.Time {
 	return sim.FromSeconds(s)
 }
 
+// SetProbes attaches the observability bus; each MI's rate decision is
+// emitted with the state-machine mode as its phase. BBR controllers are
+// uncoupled and do not know their subflow index, so the caller supplies it.
+func (c *Controller) SetProbes(b *obs.Bus, flow string, sf int) {
+	c.probes, c.flow, c.sf = b, flow, sf
+}
+
 // NextRate implements cc.RateController.
 func (c *Controller) NextRate(now, srtt sim.Time) float64 {
+	r := c.nextRate(now, srtt)
+	c.probes.MIDecision(now, c.flow, c.sf, c.mode.String(), r)
+	return r
+}
+
+func (c *Controller) nextRate(now, srtt sim.Time) float64 {
 	bw := c.bwEstimate()
 	switch c.mode {
 	case modeStartup:

@@ -12,7 +12,10 @@
 //     ACK-clocked.
 package cc
 
-import "mpcc/internal/sim"
+import (
+	"mpcc/internal/obs"
+	"mpcc/internal/sim"
+)
 
 // MIStats summarizes one monitor interval of a rate-based subflow: what was
 // sent at the configured rate and what the network did to it. These are the
@@ -79,6 +82,15 @@ type WindowController interface {
 	OnLossEvent(now sim.Time)
 	// OnRTO is invoked when a retransmission timeout fires.
 	OnRTO(now sim.Time)
+}
+
+// ProbeSetter is implemented by controllers that emit observability events
+// (MI decisions, utility samples) into a probe bus. flow names the
+// connection the controller belongs to, so events from concurrent
+// connections sharing a bus stay distinguishable. The experiment harness
+// attaches its per-run bus through this interface.
+type ProbeSetter interface {
+	SetProbes(b *obs.Bus, flow string)
 }
 
 // FailureAware is implemented by controllers that want to be told when the

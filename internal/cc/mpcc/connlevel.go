@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"mpcc/internal/cc"
+	"mpcc/internal/obs"
 	"mpcc/internal/sim"
 )
 
@@ -37,6 +38,9 @@ type ConnLevel struct {
 	uHi        float64
 	prevU      float64
 	havePrev   bool
+
+	probes *obs.Bus
+	flow   string
 }
 
 // NewConnLevel returns a connection-level controller for d subflows.
@@ -64,6 +68,19 @@ func NewConnLevel(cfg Config, d int) *ConnLevel {
 
 // Subflow returns the cc.RateController adapter for subflow i.
 func (cl *ConnLevel) Subflow(i int) cc.RateController { return cl.adapts[i] }
+
+// SetProbes attaches the observability bus. Implements cc.ProbeSetter.
+// Per-subflow MI decisions carry the subflow index; the connection-level
+// trial utility is emitted with Subflow = -1 (it is not attributable to one
+// subflow — that is the point of the ablation).
+func (cl *ConnLevel) SetProbes(b *obs.Bus, flow string) { cl.probes, cl.flow = b, flow }
+
+func (cl *ConnLevel) phaseName() string {
+	if cl.phase == 0 {
+		return "starting"
+	}
+	return "probing"
+}
 
 // Rates returns the current per-subflow rate vector in bits/s.
 func (cl *ConnLevel) Rates() []float64 { return append([]float64(nil), cl.rates...) }
@@ -138,6 +155,13 @@ func (cl *ConnLevel) closeTrial(now sim.Time) {
 		}
 	}
 	u := cl.cfg.Params.ConnUtility(ratesMbps, loss, grad)
+	if cl.probes != nil {
+		total := 0.0
+		for _, r := range ratesMbps {
+			total += r * 1e6
+		}
+		cl.probes.UtilitySample(now, cl.flow, -1, cl.phaseName(), total, u)
+	}
 
 	switch cl.phase {
 	case 0: // starting: double everything until the first decrease
@@ -203,8 +227,14 @@ func (a *connSubflow) InitialRate() float64 { return a.cl.cfg.InitialRateBps }
 // NextRate implements cc.RateController.
 func (a *connSubflow) NextRate(now, srtt sim.Time) float64 {
 	a.cl.observeSRTT(srtt)
-	return a.cl.rateFor(a.idx)
+	r := a.cl.rateFor(a.idx)
+	a.cl.probes.MIDecision(now, a.cl.flow, a.idx, a.cl.phaseName(), r)
+	return r
 }
+
+// SetProbes implements cc.ProbeSetter by delegating to the shared
+// connection-level learner, so attaching any one adapter attaches all.
+func (a *connSubflow) SetProbes(b *obs.Bus, flow string) { a.cl.SetProbes(b, flow) }
 
 // OnMIComplete implements cc.RateController.
 func (a *connSubflow) OnMIComplete(st cc.MIStats) { a.cl.absorb(a.idx, st) }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"mpcc/internal/cc"
+	"mpcc/internal/obs"
 	"mpcc/internal/sim"
 )
 
@@ -138,6 +139,14 @@ type Controller struct {
 	state phase
 	rate  float64 // current base rate, bps
 
+	// Observability: probes is the composite bus the controller emits into,
+	// rebuilt whenever either source changes — ext (the run-wide bus handed
+	// over by SetProbes) or tracer (the legacy SetTracer hook, served by an
+	// adapter sink). nil when both are absent, which keeps emission on the
+	// nil-receiver fast path.
+	probes *obs.Bus
+	ext    *obs.Bus
+	flow   string
 	tracer func(TraceEvent)
 
 	// planned mirrors, in order, the MIs the transport has started; the
@@ -243,9 +252,7 @@ func (c *Controller) NextRate(now, srtt sim.Time) float64 {
 	}
 	c.planned = append(c.planned, p)
 	c.grp.Publish(c.id, p.rate)
-	if c.tracer != nil {
-		c.tracer(TraceEvent{At: now, Subflow: c.id, State: c.state.String(), RateBps: p.rate, Decision: true})
-	}
+	c.probes.MIDecision(now, c.flow, c.id, c.state.String(), p.rate)
 	return p.rate
 }
 
@@ -318,9 +325,7 @@ func (c *Controller) OnMIComplete(st cc.MIStats) {
 		return
 	}
 	u := c.utilityOf(p.rate, st)
-	if c.tracer != nil {
-		c.tracer(TraceEvent{At: st.End, Subflow: c.id, State: c.state.String(), RateBps: p.rate, Utility: u})
-	}
+	c.probes.UtilitySample(st.End, c.flow, c.id, c.state.String(), p.rate, u)
 	switch p.role {
 	case roleStart:
 		c.onStartComplete(p, st, u)
@@ -597,4 +602,48 @@ type TraceEvent struct {
 
 // SetTracer installs a hook invoked on every rate decision and utility
 // observation. Pass nil to disable. The hook must not retain the event.
-func (c *Controller) SetTracer(fn func(TraceEvent)) { c.tracer = fn }
+//
+// It is now an adapter over the probe bus: decisions arrive as
+// obs.KindMIDecision events and utilities as obs.KindUtility, translated
+// back into TraceEvents. SetTracer and SetProbes compose — both receive
+// every event.
+func (c *Controller) SetTracer(fn func(TraceEvent)) {
+	c.tracer = fn
+	c.rebuildProbes()
+}
+
+// SetProbes attaches the observability bus the controller emits MI decisions
+// and utility samples into, tagging each event with flow (the connection
+// name). Implements cc.ProbeSetter. nil detaches.
+func (c *Controller) SetProbes(b *obs.Bus, flow string) {
+	c.ext, c.flow = b, flow
+	c.rebuildProbes()
+}
+
+// rebuildProbes recomputes the composite emission bus from the external bus
+// and the legacy tracer hook.
+func (c *Controller) rebuildProbes() {
+	if c.ext == nil && c.tracer == nil {
+		c.probes = nil
+		return
+	}
+	c.probes = obs.NewBus()
+	if c.ext != nil {
+		c.probes.AddSink(c.ext) // a Bus is itself a Sink
+	}
+	if c.tracer != nil {
+		c.probes.AddSink(tracerSink(c.tracer))
+	}
+}
+
+// tracerSink adapts a SetTracer hook into an obs.Sink.
+func tracerSink(fn func(TraceEvent)) obs.Sink {
+	return obs.SinkFunc(func(e obs.Event) {
+		switch e.Kind {
+		case obs.KindMIDecision:
+			fn(TraceEvent{At: e.At, Subflow: int(e.Subflow), State: e.State, RateBps: e.Value, Decision: true})
+		case obs.KindUtility:
+			fn(TraceEvent{At: e.At, Subflow: int(e.Subflow), State: e.State, RateBps: e.Aux, Utility: e.Value})
+		}
+	})
+}

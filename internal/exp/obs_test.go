@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"mpcc/internal/obs"
+	"mpcc/internal/sim"
+	"mpcc/internal/topo"
+)
+
+func probeSpec(bus *obs.Bus) Spec {
+	return Spec{Seed: 7, Duration: 4 * sim.Second, Warmup: 2 * sim.Second,
+		Topo: topo.Fig3c(), Proto: MPCCLoss, Probes: bus}
+}
+
+func TestRunSnapshotsRegistry(t *testing.T) {
+	res := Run(probeSpec(obs.NewBus()))
+	if res.Obs == nil {
+		t.Fatal("no registry snapshot on a probed run")
+	}
+	s := res.Obs
+	if s.Counters["sched_picks"] == 0 {
+		t.Error("no scheduler picks recorded")
+	}
+	if s.Counters["drops.total"] == 0 {
+		t.Error("no drops recorded (Fig3c bottleneck should drop)")
+	}
+	miTotal := 0.0
+	for _, name := range s.SortedCounterNames() {
+		if len(name) > 3 && name[:3] == "mi." {
+			miTotal += s.Counters[name]
+		}
+	}
+	if miTotal == 0 {
+		t.Error("no MI decisions recorded")
+	}
+	if s.Histograms["queue_depth_bytes"].Count == 0 {
+		t.Error("no queue-depth samples recorded")
+	}
+	if s.Gauges["sim.events_processed"] <= 0 || s.Gauges["sim.max_pending_timers"] <= 0 {
+		t.Errorf("engine gauges missing: %+v", s.Gauges)
+	}
+
+	// Without a bus there is no snapshot and the run result is unchanged.
+	plain := probeSpec(nil)
+	res2 := Run(plain)
+	if res2.Obs != nil {
+		t.Fatal("unprobed run grew a snapshot")
+	}
+	if res2.Flows["mp"].GoodputBps != Run(plain).Flows["mp"].GoodputBps {
+		t.Fatal("unprobed runs not deterministic")
+	}
+}
+
+func TestProbedRunDoesNotPerturbResults(t *testing.T) {
+	plain := Run(probeSpec(nil))
+	probed := Run(probeSpec(obs.NewBus()))
+	for name, fr := range plain.Flows {
+		if probed.Flows[name].GoodputBps != fr.GoodputBps {
+			t.Errorf("flow %s: goodput %v probed vs %v plain — probes changed the simulation",
+				name, probed.Flows[name].GoodputBps, fr.GoodputBps)
+		}
+	}
+}
+
+func traceRun(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	jw := obs.NewJSONLWriter(&buf)
+	Run(probeSpec(obs.NewBus(jw)))
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestTraceByteIdenticalAcrossRuns(t *testing.T) {
+	a := traceRun(t)
+	b := traceRun(t)
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("fixed-seed traces differ between repeat runs")
+	}
+}
+
+func TestTraceReplayMatchesSnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	jw := obs.NewJSONLWriter(&buf)
+	res := Run(probeSpec(obs.NewBus(jw)))
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	replayed := obs.NewRegistry()
+	if err := obs.ReadTrace(&buf, func(e obs.Event) error {
+		replayed.Record(e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rs := replayed.Snapshot()
+	for _, name := range res.Obs.SortedCounterNames() {
+		if name == "sim.events_processed" || name == "sim.max_pending_timers" {
+			continue
+		}
+		if rs.Counters[name] != res.Obs.Counters[name] {
+			t.Errorf("counter %s: replayed %v, live %v", name, rs.Counters[name], res.Obs.Counters[name])
+		}
+	}
+	for _, name := range res.Obs.SortedHistogramNames() {
+		if rs.Histograms[name] != res.Obs.Histograms[name] {
+			t.Errorf("histogram %s: replayed %+v, live %+v", name, rs.Histograms[name], res.Obs.Histograms[name])
+		}
+	}
+}
+
+func TestProbeFactory(t *testing.T) {
+	calls := 0
+	SetProbeFactory(func() *obs.Bus {
+		calls++
+		return obs.NewBus()
+	})
+	defer SetProbeFactory(nil)
+	res := Run(probeSpec(nil))
+	if calls != 1 {
+		t.Fatalf("factory called %d times, want 1", calls)
+	}
+	if res.Obs == nil {
+		t.Fatal("factory-built bus produced no snapshot")
+	}
+	// A Spec-level bus takes precedence.
+	Run(probeSpec(obs.NewBus()))
+	if calls != 1 {
+		t.Fatal("factory consulted despite Spec.Probes")
+	}
+}

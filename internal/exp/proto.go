@@ -14,6 +14,7 @@ import (
 	ccmpcc "mpcc/internal/cc/mpcc"
 	"mpcc/internal/cc/reno"
 	"mpcc/internal/netem"
+	"mpcc/internal/obs"
 	"mpcc/internal/sim"
 	"mpcc/internal/transport"
 )
@@ -87,6 +88,10 @@ type AttachOptions struct {
 	// MPCCTracer, if set, receives every MPCC controller decision and
 	// utility observation (mpcc-latency/mpcc-loss/vivace only).
 	MPCCTracer func(ccmpcc.TraceEvent)
+	// Probes, if set, is the observability bus the connection and its
+	// controllers emit into (see internal/obs). Run wires its per-run bus
+	// here automatically; set it only when calling Attach directly.
+	Probes *obs.Bus
 }
 
 // Attach builds a connection named name running protocol p over the given
@@ -101,6 +106,18 @@ func Attach(eng *sim.Engine, name string, p Protocol, paths []*netem.Path, o Att
 		opts = append(opts, transport.WithScheduler(transport.NewRateScheduler(0.10)))
 	} else {
 		opts = append(opts, transport.WithScheduler(transport.DefaultScheduler{}))
+	}
+	if o.Probes != nil {
+		opts = append(opts, transport.WithProbes(o.Probes))
+	}
+	// probe attaches the observability bus to controllers that emit events.
+	probe := func(ctl any) {
+		if o.Probes == nil {
+			return
+		}
+		if ps, ok := ctl.(cc.ProbeSetter); ok {
+			ps.SetProbes(o.Probes, name)
+		}
 	}
 	conn := transport.NewConnection(eng, name, opts...)
 
@@ -124,6 +141,7 @@ func Attach(eng *sim.Engine, name string, p Protocol, paths []*netem.Path, o Att
 			if o.MPCCTracer != nil {
 				ctl.SetTracer(o.MPCCTracer)
 			}
+			probe(ctl)
 			conn.AddRateSubflow(path, ctl)
 		}
 	case Vivace:
@@ -137,6 +155,7 @@ func Attach(eng *sim.Engine, name string, p Protocol, paths []*netem.Path, o Att
 			if o.MPCCTracer != nil {
 				ctl.SetTracer(o.MPCCTracer)
 			}
+			probe(ctl)
 			conn.AddRateSubflow(path, ctl)
 		}
 	case MPCCConnLevel:
@@ -145,6 +164,7 @@ func Attach(eng *sim.Engine, name string, p Protocol, paths []*netem.Path, o Att
 			cfg.InitialRateBps = o.InitialRateBps
 		}
 		cl := ccmpcc.NewConnLevel(cfg, len(paths))
+		probe(cl)
 		for i, path := range paths {
 			conn.AddRateSubflow(path, cl.Subflow(i))
 		}
@@ -153,8 +173,12 @@ func Attach(eng *sim.Engine, name string, p Protocol, paths []*netem.Path, o Att
 		if o.InitialRateBps > 0 {
 			initial = o.InitialRateBps
 		}
-		for _, path := range paths {
-			conn.AddRateSubflow(path, bbr.New(initial))
+		for i, path := range paths {
+			ctl := bbr.New(initial)
+			if o.Probes != nil {
+				ctl.SetProbes(o.Probes, name, i)
+			}
+			conn.AddRateSubflow(path, ctl)
 		}
 	case LIA, OLIA, Balia, WVegas:
 		coupler := cc.NewCoupler()

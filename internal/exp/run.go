@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mpcc/internal/netem"
+	"mpcc/internal/obs"
 	"mpcc/internal/sim"
 	"mpcc/internal/stats"
 	"mpcc/internal/topo"
@@ -26,6 +27,15 @@ type Spec struct {
 	Duration sim.Time
 	Warmup   sim.Time // goodput measured after this offset (the paper omits 30 s)
 	Topo     *topo.Topology
+	// Probes, if set, is the observability bus for this run: every link,
+	// transport connection, and controller emits into it, a queue-depth
+	// sampler runs, and the registry snapshot lands in Result.Obs. When nil,
+	// the package probe factory (SetProbeFactory) is consulted; when that is
+	// nil too, observability is fully disabled — the run is byte- and
+	// event-count-identical to one built before the obs layer existed. A
+	// Spec-level bus is per run: sharing one across RunAveraged replicates
+	// accumulates their metrics into a single registry.
+	Probes *obs.Bus
 	// Tweak adjusts link parameters (buffer, loss, bandwidth) after the
 	// topology is built and may schedule mid-run changes on net.Eng.
 	Tweak func(net *topo.Net)
@@ -67,6 +77,11 @@ type Result struct {
 	// Notes records aggregation anomalies (e.g. replicates disagreeing on
 	// subflow counts in RunAveraged).
 	Notes []string
+	// Obs is the run's metrics-registry snapshot (drops by cause,
+	// retransmits, queue-depth percentiles, MI counts per phase, engine
+	// gauges). nil when the run had no probe bus. RunAveraged reports the
+	// first replicate's snapshot.
+	Obs *obs.Snapshot
 }
 
 // flowsFor derives the flow specs from a topology and the spec's protocols.
@@ -93,15 +108,40 @@ func (s *Spec) flowsFor() []FlowSpec {
 func Run(s Spec) *Result {
 	defer countSim()
 	eng := sim.NewEngine(s.Seed)
+	bus := s.Probes
+	if bus == nil && probeFactory != nil {
+		bus = probeFactory()
+	}
+	if bus != nil && bus.Registry() == nil {
+		bus.SetRegistry(obs.NewRegistry())
+	}
 	net := s.Topo.Build(eng)
 	if s.Tweak != nil {
 		s.Tweak(net)
+	}
+	if bus != nil {
+		bus.RunStart(s.Seed, s.Duration)
+		// LinkNames is creation order, so probe wiring (and hence the trace)
+		// never depends on map iteration.
+		qps := make([]obs.QueueProbe, 0, len(net.LinkNames()))
+		for _, name := range net.LinkNames() {
+			l := net.Link(name)
+			l.SetProbes(bus)
+			qps = append(qps, l.QueueProbe())
+		}
+		if s.Duration > 0 {
+			obs.SampleQueues(eng, bus, queueSampleEvery, qps...)
+		}
 	}
 	flows := s.flowsFor()
 	conns := make(map[string]*transport.Connection, len(flows))
 	for _, f := range flows {
 		ps := buildPaths(net, f.Paths)
-		conn := Attach(eng, f.Name, f.Proto, ps, f.Attach)
+		at := f.Attach
+		if at.Probes == nil {
+			at.Probes = bus
+		}
+		conn := Attach(eng, f.Name, f.Proto, ps, at)
 		if f.FileBytes > 0 {
 			conn.SetApp(transport.NewFile(f.FileBytes), nil)
 		} else {
@@ -113,6 +153,14 @@ func Run(s Spec) *Result {
 	eng.Run(s.Duration)
 
 	res := &Result{Flows: make(map[string]*FlowResult, len(conns)), Net: net}
+	if bus != nil {
+		if reg := bus.Registry(); reg != nil {
+			reg.Gauge("sim.events_processed").Set(float64(eng.Processed))
+			reg.Gauge("sim.max_pending_timers").Set(float64(eng.MaxPending()))
+			res.Obs = reg.Snapshot()
+		}
+		bus.RunEnd(eng.Now())
+	}
 	var goodputs []float64
 	total := 0.0
 	for name, conn := range conns {

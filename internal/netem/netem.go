@@ -17,6 +17,7 @@ package netem
 import (
 	"fmt"
 
+	"mpcc/internal/obs"
 	"mpcc/internal/sim"
 )
 
@@ -119,6 +120,8 @@ type Link struct {
 	busyUntil   sim.Time // when the transmitter frees up
 
 	stats LinkStats
+
+	probes *obs.Bus // nil when observability is disabled
 
 	// OnDrop, if non-nil, is invoked for every dropped packet.
 	OnDrop func(pkt *Packet, reason DropReason)
@@ -245,6 +248,16 @@ func (l *Link) Loss() float64 { return l.lossProb }
 // QueuedBytes returns bytes currently queued or in serialization.
 func (l *Link) QueuedBytes() int { return l.queuedBytes }
 
+// SetProbes attaches an observability bus; the link emits a drop event (with
+// cause) for every dropped packet. nil detaches.
+func (l *Link) SetProbes(b *obs.Bus) { l.probes = b }
+
+// QueueProbe returns an obs sampler probe reading this link's queue depth,
+// for use with obs.SampleQueues.
+func (l *Link) QueueProbe() obs.QueueProbe {
+	return obs.QueueProbe{Link: l.Name, Depth: l.QueuedBytes}
+}
+
 // Stats returns a snapshot of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
 
@@ -347,6 +360,9 @@ func linkDequeueEvent(a any) {
 func packetForwardEvent(a any) { a.(*Packet).forward() }
 
 func (l *Link) drop(pkt *Packet, reason DropReason) {
+	// obs.DropCause values mirror DropReason one-to-one (asserted in tests),
+	// so the cause is a cast rather than a translation table.
+	l.probes.Drop(l.eng.Now(), l.Name, obs.DropCause(reason), pkt.Size)
 	if l.OnDrop != nil {
 		l.OnDrop(pkt, reason)
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"mpcc/internal/obs"
 	"mpcc/internal/sim"
 )
 
@@ -290,6 +291,45 @@ func TestDropReasonString(t *testing.T) {
 	}
 	if DropReason(9).String() == "" {
 		t.Fatal("unknown reason should still format")
+	}
+}
+
+// The link emits obs drop causes by casting DropReason, which is only sound
+// while the two enums stay numerically and nominally aligned.
+func TestDropReasonMatchesObsCause(t *testing.T) {
+	for _, r := range []DropReason{DropQueueFull, DropRandom, DropOutage, DropBurst} {
+		if got := obs.DropCause(r).String(); got != r.String() {
+			t.Errorf("obs.DropCause(%d) = %q, netem reason = %q", r, got, r.String())
+		}
+	}
+}
+
+func TestLinkEmitsDropProbes(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, "wifi", 8*mbps, 0, 2000)
+	var drops []obs.Event
+	l.SetProbes(obs.NewBus(obs.SinkFunc(func(ev obs.Event) {
+		if ev.Kind == obs.KindDrop {
+			drops = append(drops, ev)
+		}
+	})))
+	p := NewPath(e, "p", l)
+	sink, _ := collector()
+	for i := 0; i < 6; i++ {
+		p.Send(1000, nil, sink, nil)
+	}
+	e.Run(0)
+	if len(drops) != 3 {
+		t.Fatalf("got %d drop events, want 3", len(drops))
+	}
+	for _, ev := range drops {
+		if ev.Link != "wifi" || ev.Cause != obs.CauseQueueFull || ev.Bytes != 1000 {
+			t.Errorf("drop event %+v", ev)
+		}
+	}
+	probe := l.QueueProbe()
+	if probe.Link != "wifi" || probe.Depth == nil {
+		t.Fatalf("QueueProbe = %+v", probe)
 	}
 }
 

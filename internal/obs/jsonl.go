@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"mpcc/internal/sim"
+)
+
+// JSONLWriter is a Sink serializing events as one JSON object per line.
+//
+// Lines are byte-reproducible: fields appear in a fixed order (t, kind,
+// then the kind's own fields), virtual time is emitted as integer
+// nanoseconds, and floats use strconv's shortest round-trip representation
+// — so a fixed-seed run produces a byte-identical trace every time. Only
+// the fields a kind defines are written; consumers can rely on their
+// presence per kind (see AppendEvent).
+type JSONLWriter struct {
+	mu     sync.Mutex // serializes writers shared across sequential runs
+	w      *bufio.Writer
+	closer io.Closer
+	buf    []byte
+	err    error
+}
+
+// NewJSONLWriter returns a writer emitting to w. If w is an io.Closer,
+// Close closes it after flushing.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	jw := &JSONLWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	if c, ok := w.(io.Closer); ok {
+		jw.closer = c
+	}
+	return jw
+}
+
+// Emit implements Sink.
+func (jw *JSONLWriter) Emit(e Event) {
+	jw.mu.Lock()
+	jw.buf = AppendEvent(jw.buf[:0], e)
+	if _, err := jw.w.Write(jw.buf); err != nil && jw.err == nil {
+		jw.err = err
+	}
+	jw.mu.Unlock()
+}
+
+// Flush writes buffered lines through to the underlying writer.
+func (jw *JSONLWriter) Flush() error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if err := jw.w.Flush(); err != nil && jw.err == nil {
+		jw.err = err
+	}
+	return jw.err
+}
+
+// Close flushes and closes the underlying writer (when it is a Closer).
+func (jw *JSONLWriter) Close() error {
+	err := jw.Flush()
+	if jw.closer != nil {
+		if cerr := jw.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// AppendEvent appends e's JSONL line (newline included) to b. The field
+// set and order per kind:
+//
+//	mi-decision:  t, kind, flow, sf, state, rate_bps
+//	utility:      t, kind, flow, sf, state, rate_bps, utility
+//	rate-change:  t, kind, flow, sf, rate_bps
+//	drop:         t, kind, link, cause, bytes
+//	queue-depth:  t, kind, link, bytes
+//	retransmit:   t, kind, flow, sf, bytes
+//	rto-backoff:  t, kind, flow, sf, rto_s, consec
+//	subflow-down: t, kind, flow, sf
+//	subflow-up:   t, kind, flow, sf
+//	sched-pick:   t, kind, flow, sf, bytes
+//	run-start:    t, kind, seed, horizon_s
+//	run-end:      t, kind
+func AppendEvent(b []byte, e Event) []byte {
+	b = append(b, `{"t":`...)
+	b = strconv.AppendInt(b, int64(e.At), 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, '"')
+	switch e.Kind {
+	case KindMIDecision:
+		b = appendFlowSF(b, e)
+		b = appendStr(b, "state", e.State)
+		b = appendFloat(b, "rate_bps", e.Value)
+	case KindUtility:
+		b = appendFlowSF(b, e)
+		b = appendStr(b, "state", e.State)
+		b = appendFloat(b, "rate_bps", e.Aux)
+		b = appendFloat(b, "utility", e.Value)
+	case KindRateChange:
+		b = appendFlowSF(b, e)
+		b = appendFloat(b, "rate_bps", e.Value)
+	case KindDrop:
+		b = appendStr(b, "link", e.Link)
+		b = appendStr(b, "cause", e.Cause.String())
+		b = appendInt(b, "bytes", e.Bytes)
+	case KindQueueDepth:
+		b = appendStr(b, "link", e.Link)
+		b = appendInt(b, "bytes", e.Bytes)
+	case KindRetransmit, KindSchedPick:
+		b = appendFlowSF(b, e)
+		b = appendInt(b, "bytes", e.Bytes)
+	case KindRTOBackoff:
+		b = appendFlowSF(b, e)
+		b = appendFloat(b, "rto_s", e.Value)
+		b = appendInt(b, "consec", int64(e.Aux))
+	case KindSubflowDown, KindSubflowUp:
+		b = appendFlowSF(b, e)
+	case KindRunStart:
+		b = appendInt(b, "seed", e.Bytes)
+		b = appendFloat(b, "horizon_s", e.Value)
+	case KindRunEnd:
+		// t and kind only.
+	}
+	return append(b, '}', '\n')
+}
+
+func appendFlowSF(b []byte, e Event) []byte {
+	b = appendStr(b, "flow", e.Flow)
+	b = append(b, `,"sf":`...)
+	b = strconv.AppendInt(b, int64(e.Subflow), 10)
+	return b
+}
+
+func appendStr(b []byte, key, v string) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, `":`...)
+	return appendJSONString(b, v)
+}
+
+func appendInt(b []byte, key string, v int64) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, `":`...)
+	return strconv.AppendInt(b, v, 10)
+}
+
+func appendFloat(b []byte, key string, v float64) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, `":`...)
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendJSONString writes v as a JSON string. Names in this codebase are
+// plain ASCII; anything needing escapes takes the slow path through the
+// standard encoder.
+func appendJSONString(b []byte, v string) []byte {
+	for i := 0; i < len(v); i++ {
+		if c := v[i]; c < 0x20 || c == '"' || c == '\\' || c >= 0x80 {
+			enc, _ := json.Marshal(v)
+			return append(b, enc...)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, v...)
+	return append(b, '"')
+}
+
+// jsonEvent is the wire form used when parsing a trace back.
+type jsonEvent struct {
+	T        int64    `json:"t"`
+	Kind     string   `json:"kind"`
+	Flow     string   `json:"flow"`
+	Link     string   `json:"link"`
+	SF       *int32   `json:"sf"`
+	State    string   `json:"state"`
+	Cause    string   `json:"cause"`
+	Bytes    int64    `json:"bytes"`
+	RateBps  float64  `json:"rate_bps"`
+	Utility  *float64 `json:"utility"`
+	RTOs     float64  `json:"rto_s"`
+	Consec   float64  `json:"consec"`
+	Seed     int64    `json:"seed"`
+	HorizonS float64  `json:"horizon_s"`
+}
+
+// ParseEvent decodes one JSONL trace line back into an Event.
+func ParseEvent(line []byte) (Event, error) {
+	var je jsonEvent
+	if err := json.Unmarshal(line, &je); err != nil {
+		return Event{}, err
+	}
+	kind, ok := KindFromString(je.Kind)
+	if !ok {
+		return Event{}, fmt.Errorf("obs: unknown event kind %q", je.Kind)
+	}
+	e := Event{At: sim.Time(je.T), Kind: kind, Flow: je.Flow, Link: je.Link, State: je.State, Subflow: -1}
+	if je.SF != nil {
+		e.Subflow = *je.SF
+	}
+	switch kind {
+	case KindMIDecision, KindRateChange:
+		e.Value = je.RateBps
+	case KindUtility:
+		e.Aux = je.RateBps
+		if je.Utility != nil {
+			e.Value = *je.Utility
+		}
+	case KindDrop:
+		cause, ok := CauseFromString(je.Cause)
+		if !ok {
+			return Event{}, fmt.Errorf("obs: unknown drop cause %q", je.Cause)
+		}
+		e.Cause = cause
+		e.Bytes = je.Bytes
+	case KindQueueDepth, KindRetransmit, KindSchedPick:
+		e.Bytes = je.Bytes
+	case KindRTOBackoff:
+		e.Value = je.RTOs
+		e.Aux = je.Consec
+	case KindRunStart:
+		e.Bytes = je.Seed
+		e.Value = je.HorizonS
+	}
+	return e, nil
+}
+
+// ReadTrace parses a whole JSONL trace, invoking fn per event in file
+// order. Blank lines are skipped; a malformed line aborts with an error
+// naming its line number.
+func ReadTrace(r io.Reader, fn func(Event) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		e, err := ParseEvent(line)
+		if err != nil {
+			return fmt.Errorf("trace line %d: %w", lineNo, err)
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,267 @@
+package obs
+
+import "sort"
+
+// Registry is a per-run metrics store: named counters, gauges, and
+// histograms, plus pre-resolved handles for the metrics the bus maintains
+// automatically from probe events (drops by cause, retransmits, queue-depth
+// percentiles, MI counts per controller phase, failure-detector activity).
+//
+// A Registry belongs to one single-threaded simulation run and is not safe
+// for concurrent use — which is also why the experiment harness creates one
+// registry per run rather than sharing one across a parallel sweep.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	// Pre-resolved handles for the event-driven builtins, so Record never
+	// builds a lookup key on the hot path.
+	dropsByCause [numCauses]*Counter
+	dropsTotal   *Counter
+	retransmits  *Counter
+	retxBytes    *Counter
+	rtoEpisodes  *Counter
+	downs, ups   *Counter
+	schedPicks   *Counter
+	rateChanges  *Counter
+	miByPhase    map[string]*Counter
+	queueDepth   *Histogram
+	utility      *Histogram
+}
+
+// NewRegistry returns an empty registry with the builtin metrics
+// pre-registered.
+func NewRegistry() *Registry {
+	r := &Registry{
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		miByPhase: make(map[string]*Counter),
+	}
+	for c := DropCause(0); c < numCauses; c++ {
+		r.dropsByCause[c] = r.Counter("drops." + c.String())
+	}
+	r.dropsTotal = r.Counter("drops.total")
+	r.retransmits = r.Counter("retransmits")
+	r.retxBytes = r.Counter("retransmit_bytes")
+	r.rtoEpisodes = r.Counter("rto_episodes")
+	r.downs = r.Counter("subflow_downs")
+	r.ups = r.Counter("subflow_ups")
+	r.schedPicks = r.Counter("sched_picks")
+	r.rateChanges = r.Counter("rate_changes")
+	r.queueDepth = r.Histogram("queue_depth_bytes")
+	r.utility = r.Histogram("utility")
+	return r
+}
+
+// Counter returns (creating if needed) the named monotonic counter.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns (creating if needed) the named last-value gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// Record folds one probe event into the builtin metrics. The bus calls it
+// for every event when a registry is attached; trace analyzers call it when
+// replaying a JSONL trace, which guarantees replayed aggregates match the
+// live run's snapshot exactly.
+func (r *Registry) Record(e Event) {
+	switch e.Kind {
+	case KindDrop:
+		if e.Cause < numCauses {
+			r.dropsByCause[e.Cause].Inc()
+		}
+		r.dropsTotal.Inc()
+	case KindRetransmit:
+		r.retransmits.Inc()
+		r.retxBytes.Add(float64(e.Bytes))
+	case KindQueueDepth:
+		r.queueDepth.Observe(float64(e.Bytes))
+	case KindMIDecision:
+		c, ok := r.miByPhase[e.State]
+		if !ok {
+			c = r.Counter("mi." + e.State)
+			r.miByPhase[e.State] = c
+		}
+		c.Inc()
+	case KindUtility:
+		r.utility.Observe(e.Value)
+	case KindRTOBackoff:
+		r.rtoEpisodes.Inc()
+	case KindSubflowDown:
+		r.downs.Inc()
+	case KindSubflowUp:
+		r.ups.Inc()
+	case KindSchedPick:
+		r.schedPicks.Inc()
+	case KindRateChange:
+		r.rateChanges.Inc()
+	}
+}
+
+// Counter is a monotonic sum.
+type Counter struct{ v float64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add accumulates v.
+func (c *Counter) Add(v float64) { c.v += v }
+
+// Value returns the accumulated sum.
+func (c *Counter) Value() float64 { return c.v }
+
+// Gauge is a last-written value.
+type Gauge struct{ v float64 }
+
+// Set overwrites the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the last-written value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram records every observation exactly (per-run sample counts are
+// modest — queue sampling is a few thousand points), so quantiles are exact
+// nearest-rank values rather than bucket approximations, and a replayed
+// trace reproduces the live snapshot bit for bit.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Quantile returns the nearest-rank q-quantile (q in [0,1]), or 0 with no
+// samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	idx := int(q*float64(len(h.samples))) - 1
+	if q <= 0 || idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Stats summarizes the histogram.
+func (h *Histogram) Stats() HistogramStats {
+	st := HistogramStats{Count: len(h.samples)}
+	if st.Count == 0 {
+		return st
+	}
+	h.sort()
+	st.Min = h.samples[0]
+	st.Max = h.samples[len(h.samples)-1]
+	sum := 0.0
+	for _, v := range h.samples {
+		sum += v
+	}
+	st.Mean = sum / float64(st.Count)
+	st.P50 = h.Quantile(0.50)
+	st.P90 = h.Quantile(0.90)
+	st.P99 = h.Quantile(0.99)
+	return st
+}
+
+// HistogramStats is a histogram's snapshot form.
+type HistogramStats struct {
+	Count          int
+	Min, Max, Mean float64
+	P50, P90, P99  float64
+}
+
+// Snapshot is a registry frozen at the end of a run, attached to
+// exp.Result. Maps are keyed by metric name; iterate SortedCounterNames and
+// friends for deterministic output.
+type Snapshot struct {
+	Counters   map[string]float64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramStats
+}
+
+// Snapshot freezes the registry's current state.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   make(map[string]float64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramStats, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Stats()
+	}
+	return s
+}
+
+// SortedCounterNames returns the counter names in lexical order.
+func (s *Snapshot) SortedCounterNames() []string { return sortedKeys(s.Counters) }
+
+// SortedGaugeNames returns the gauge names in lexical order.
+func (s *Snapshot) SortedGaugeNames() []string { return sortedKeys(s.Gauges) }
+
+// SortedHistogramNames returns the histogram names in lexical order.
+func (s *Snapshot) SortedHistogramNames() []string {
+	names := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedKeys(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

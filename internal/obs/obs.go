@@ -1,0 +1,306 @@
+// Package obs is the unified cross-layer observability bus: every layer of
+// a simulation — the emulated links (netem), the transport machinery
+// (subflows, scheduler, failure detector), and the congestion controllers —
+// emits typed probe events into one per-run Bus, from which sinks derive
+// JSONL traces, aggregate metrics, or ad-hoc analyses.
+//
+// The paper's figures are all statements about internal dynamics (per-MI
+// utility gradients, rate trajectories, queue buildup, loss bursts,
+// scheduler starvation); the bus makes those dynamics observable from one
+// place instead of one ad-hoc hook per layer.
+//
+// Design constraints, in priority order:
+//
+//  1. Zero cost when disabled. Every emit helper is safe on a nil *Bus and
+//     returns after a single branch; call sites hold a plain *Bus field and
+//     never allocate, so a run without probes is byte- and allocation-
+//     identical to a run built before this package existed.
+//  2. Deterministic when enabled. Events are emitted synchronously from the
+//     single-threaded simulation engine, in event-execution order; sinks see
+//     exactly one well-defined sequence per seed. The JSONL sink writes
+//     fields in a fixed order with a fixed float format, so a fixed-seed
+//     trace is byte-identical across repeat runs.
+//  3. Cheap when enabled. Events are flat structs passed by value (no
+//     boxing, no reflection); the built-in metrics registry updates by
+//     pre-resolved handles, not name lookups.
+package obs
+
+import "mpcc/internal/sim"
+
+// Kind identifies a probe event type.
+type Kind uint8
+
+// The probe event types, one per cross-layer observation point.
+const (
+	// KindMIDecision is a rate controller choosing the rate for a new
+	// monitor interval (cc layer). State is the controller phase, Value the
+	// chosen rate in bits/s.
+	KindMIDecision Kind = iota
+	// KindUtility is the utility of a completed monitor interval (cc
+	// layer). Value is the utility, Aux the MI's configured rate in bits/s.
+	KindUtility
+	// KindRateChange is the transport applying a new pacing rate to a
+	// subflow. Value is the rate in bits/s.
+	KindRateChange
+	// KindDrop is a link dropping a packet (netem layer). Cause explains
+	// why, Bytes is the packet size.
+	KindDrop
+	// KindQueueDepth is a periodic sample of a link's queued bytes
+	// (SampleQueues). Bytes is the depth.
+	KindQueueDepth
+	// KindRetransmit is a subflow retransmitting a lost segment. Bytes is
+	// the segment size.
+	KindRetransmit
+	// KindRTOBackoff is a retransmission-timeout episode opening. Value is
+	// the backed-off RTO in seconds, Aux the consecutive-episode count.
+	KindRTOBackoff
+	// KindSubflowDown is the failure detector declaring a subflow dead.
+	KindSubflowDown
+	// KindSubflowUp is a failed subflow reviving after a successful probe.
+	KindSubflowUp
+	// KindSchedPick is the multipath scheduler assigning a new segment to a
+	// subflow. Bytes is the segment size.
+	KindSchedPick
+	// KindRunStart marks the beginning of one simulation run in a shared
+	// trace (emitted by the experiment harness). Bytes is the seed, Value
+	// the run horizon in seconds.
+	KindRunStart
+	// KindRunEnd marks the end of one simulation run.
+	KindRunEnd
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"mi-decision", "utility", "rate-change", "drop", "queue-depth",
+	"retransmit", "rto-backoff", "subflow-down", "subflow-up", "sched-pick",
+	"run-start", "run-end",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// KindFromString returns the Kind named s, or ok=false.
+func KindFromString(s string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// DropCause mirrors netem's drop reasons (the numeric values correspond
+// one-to-one; netem asserts the correspondence in its tests).
+type DropCause uint8
+
+// Drop causes.
+const (
+	CauseQueueFull DropCause = iota // drop-tail buffer overflow
+	CauseRandom                     // i.i.d. non-congestion loss
+	CauseOutage                     // link down or stalled at zero rate
+	CauseBurst                      // Gilbert–Elliott bad-state burst loss
+
+	numCauses
+)
+
+var causeNames = [numCauses]string{"queue-full", "random", "outage", "burst"}
+
+func (c DropCause) String() string {
+	if int(c) < len(causeNames) {
+		return causeNames[c]
+	}
+	return "unknown"
+}
+
+// CauseFromString returns the DropCause named s, or ok=false.
+func CauseFromString(s string) (DropCause, bool) {
+	for i, n := range causeNames {
+		if n == s {
+			return DropCause(i), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one probe record. It is a flat struct so emission never boxes:
+// events pass to sinks by value. Which fields are meaningful depends on
+// Kind (see the Kind constants); unused fields are zero ("" / 0 / -1 for
+// Subflow).
+type Event struct {
+	At      sim.Time
+	Kind    Kind
+	Cause   DropCause
+	Subflow int32  // subflow id within the flow, -1 when not applicable
+	Flow    string // connection name ("" for link-scoped events)
+	Link    string // link name ("" for flow-scoped events)
+	State   string // controller phase (mi-decision/utility)
+	Bytes   int64  // packet/segment size, queue depth, or run seed
+	Value   float64
+	Aux     float64
+}
+
+// Sink consumes probe events. Sinks are invoked synchronously from the
+// simulation loop and must not retain references into the event (Event is a
+// value type, so this is automatic).
+type Sink interface {
+	Emit(e Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(e Event)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(e Event) { f(e) }
+
+// Bus fans probe events out to its sinks and, when a Registry is attached,
+// folds them into aggregate metrics. The zero value is usable; a nil *Bus
+// is the disabled state — every emit helper returns immediately.
+type Bus struct {
+	sinks []Sink
+	reg   *Registry
+}
+
+// NewBus returns a bus delivering events to the given sinks.
+func NewBus(sinks ...Sink) *Bus { return &Bus{sinks: sinks} }
+
+// AddSink appends a sink. Sinks receive events in registration order.
+func (b *Bus) AddSink(s Sink) { b.sinks = append(b.sinks, s) }
+
+// SetRegistry attaches a metrics registry updated on every event (nil
+// detaches).
+func (b *Bus) SetRegistry(r *Registry) { b.reg = r }
+
+// Registry returns the attached metrics registry, or nil. Safe on a nil bus.
+func (b *Bus) Registry() *Registry {
+	if b == nil {
+		return nil
+	}
+	return b.reg
+}
+
+// Emit delivers an already-built event. It implements Sink, so buses
+// compose: a controller-private bus can forward into a run-wide one. Safe
+// on a nil bus.
+func (b *Bus) Emit(e Event) {
+	if b == nil {
+		return
+	}
+	if b.reg != nil {
+		b.reg.Record(e)
+	}
+	for _, s := range b.sinks {
+		s.Emit(e)
+	}
+}
+
+// ---- typed emit helpers ----
+//
+// Each helper is the one-line probe a layer calls at its observation point.
+// All are nil-safe: the disabled path is a single receiver check, and the
+// arguments are plain values the caller already holds, so a disabled probe
+// performs no allocation and no work.
+
+// MIDecision records a controller choosing rateBps for a new MI while in
+// the given phase.
+func (b *Bus) MIDecision(at sim.Time, flow string, sf int, phase string, rateBps float64) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindMIDecision, Flow: flow, Subflow: int32(sf), State: phase, Value: rateBps})
+}
+
+// UtilitySample records the utility of a completed MI that was configured
+// at rateBps.
+func (b *Bus) UtilitySample(at sim.Time, flow string, sf int, phase string, rateBps, utility float64) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindUtility, Flow: flow, Subflow: int32(sf), State: phase, Value: utility, Aux: rateBps})
+}
+
+// RateChange records the transport applying a new pacing rate to a subflow.
+func (b *Bus) RateChange(at sim.Time, flow string, sf int, rateBps float64) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindRateChange, Flow: flow, Subflow: int32(sf), Value: rateBps})
+}
+
+// Drop records a link dropping a packet.
+func (b *Bus) Drop(at sim.Time, link string, cause DropCause, bytes int) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindDrop, Link: link, Cause: cause, Subflow: -1, Bytes: int64(bytes)})
+}
+
+// QueueDepth records a sample of a link's queued bytes.
+func (b *Bus) QueueDepth(at sim.Time, link string, bytes int) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindQueueDepth, Link: link, Subflow: -1, Bytes: int64(bytes)})
+}
+
+// Retransmit records a subflow retransmitting a lost segment.
+func (b *Bus) Retransmit(at sim.Time, flow string, sf int, bytes int) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindRetransmit, Flow: flow, Subflow: int32(sf), Bytes: int64(bytes)})
+}
+
+// RTOBackoff records a retransmission-timeout episode: the backed-off RTO
+// now in force and how many consecutive episodes have fired without an ACK.
+func (b *Bus) RTOBackoff(at sim.Time, flow string, sf int, rto sim.Time, consec int) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindRTOBackoff, Flow: flow, Subflow: int32(sf), Value: rto.Seconds(), Aux: float64(consec)})
+}
+
+// SubflowDown records the failure detector declaring a subflow dead.
+func (b *Bus) SubflowDown(at sim.Time, flow string, sf int) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindSubflowDown, Flow: flow, Subflow: int32(sf)})
+}
+
+// SubflowUp records a failed subflow reviving.
+func (b *Bus) SubflowUp(at sim.Time, flow string, sf int) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindSubflowUp, Flow: flow, Subflow: int32(sf)})
+}
+
+// SchedPick records the scheduler assigning a bytes-sized segment to a
+// subflow.
+func (b *Bus) SchedPick(at sim.Time, flow string, sf int, bytes int) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindSchedPick, Flow: flow, Subflow: int32(sf), Bytes: int64(bytes)})
+}
+
+// RunStart marks the beginning of a simulation run in a shared trace.
+func (b *Bus) RunStart(seed int64, horizon sim.Time) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: 0, Kind: KindRunStart, Subflow: -1, Bytes: seed, Value: horizon.Seconds()})
+}
+
+// RunEnd marks the end of a simulation run.
+func (b *Bus) RunEnd(at sim.Time) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindRunEnd, Subflow: -1})
+}

@@ -1,0 +1,38 @@
+package obs
+
+import "mpcc/internal/sim"
+
+// QueueProbe exposes one link's instantaneous queue depth to the sampler.
+// Depth returns queued bytes at call time; netem.Link.QueueProbe builds one.
+type QueueProbe struct {
+	Link  string
+	Depth func() int
+}
+
+// SampleQueues schedules a self-repeating timer on eng that emits a
+// KindQueueDepth event per probe every `every` of virtual time, starting at
+// now+every. The returned stop function cancels future samples.
+//
+// Call this only when probes are live: scheduling the timer changes the
+// engine's event count, so a run with a sampler is deterministic but not
+// event-count-identical to one without.
+func SampleQueues(eng *sim.Engine, b *Bus, every sim.Time, probes ...QueueProbe) (stop func()) {
+	if b == nil || eng == nil || every <= 0 || len(probes) == 0 {
+		return func() {}
+	}
+	var tick func()
+	var timer *sim.Timer
+	tick = func() {
+		now := eng.Now()
+		for _, p := range probes {
+			b.QueueDepth(now, p.Link, p.Depth())
+		}
+		timer = eng.After(every, tick)
+	}
+	timer = eng.After(every, tick)
+	return func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}

@@ -104,6 +104,7 @@ type Engine struct {
 	free    []*Timer // recycled Schedule-created timers
 	rng     *rand.Rand
 	stopped bool
+	maxHeap int
 	// Processed counts executed events, for diagnostics and benchmarks.
 	Processed uint64
 }
@@ -138,6 +139,9 @@ func timerLess(a, b *Timer) bool {
 func (e *Engine) push(t *Timer) {
 	t.index = int32(len(e.heap))
 	e.heap = append(e.heap, t)
+	if len(e.heap) > e.maxHeap {
+		e.maxHeap = len(e.heap)
+	}
 	e.siftUp(len(e.heap) - 1)
 }
 
@@ -344,3 +348,8 @@ func (e *Engine) Step() bool {
 // Pending returns the number of queued timers. Stopped timers are removed
 // from the queue eagerly, so they are never counted.
 func (e *Engine) Pending() int { return len(e.heap) }
+
+// MaxPending returns the high-water mark of queued timers over the engine's
+// lifetime — a proxy for how much simultaneous in-flight state a scenario
+// builds up, surfaced as a gauge by the experiment harness.
+func (e *Engine) MaxPending() int { return e.maxHeap }

@@ -28,8 +28,21 @@ func WriteTableCSV(w io.Writer, header []string, rows [][]string) error {
 	return cw.Error()
 }
 
+// timePrecision returns the decimal places needed so bucket-start times
+// render exactly: enough digits for the bucket width itself (sub-millisecond
+// buckets would otherwise collapse onto repeated timestamps), never fewer
+// than the 3 the historical format used.
+func timePrecision(bucket sim.Time) int {
+	prec := 9 // ns resolution
+	for d := bucket; prec > 3 && d > 0 && d%10 == 0; d /= 10 {
+		prec--
+	}
+	return prec
+}
+
 // WriteSeriesCSV writes one or more aligned time series. Column i of values
-// is labelled names[i]; the time column is seconds at bucket starts.
+// is labelled names[i]; the time column is seconds at bucket starts, with
+// precision adapted to the bucket width.
 func WriteSeriesCSV(w io.Writer, bucket sim.Time, names []string, series ...[]float64) error {
 	if len(names) != len(series) {
 		return fmt.Errorf("trace: %d names for %d series", len(names), len(series))
@@ -44,9 +57,10 @@ func WriteSeriesCSV(w io.Writer, bucket sim.Time, names []string, series ...[]fl
 			maxLen = len(s)
 		}
 	}
+	prec := timePrecision(bucket)
 	row := make([]string, len(series)+1)
 	for i := 0; i < maxLen; i++ {
-		row[0] = strconv.FormatFloat((sim.Time(i) * bucket).Seconds(), 'f', 3, 64)
+		row[0] = strconv.FormatFloat((sim.Time(i) * bucket).Seconds(), 'f', prec, 64)
 		for j, s := range series {
 			if i < len(s) {
 				row[j+1] = strconv.FormatFloat(s[i], 'g', 6, 64)

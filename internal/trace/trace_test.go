@@ -1,12 +1,18 @@
 package trace
 
 import (
+	"encoding/csv"
+	"flag"
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 
 	"mpcc/internal/sim"
 	"mpcc/internal/stats"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestWriteTableCSV(t *testing.T) {
 	var b strings.Builder
@@ -64,5 +70,150 @@ func TestWriteStatsSeries(t *testing.T) {
 	out := b.String()
 	if !strings.Contains(out, "t_seconds,rate") || !strings.Contains(out, "0.000,5") {
 		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestTimePrecision(t *testing.T) {
+	cases := []struct {
+		bucket sim.Time
+		want   int
+	}{
+		{sim.Second, 3},            // never fewer than the historical 3
+		{100 * sim.Millisecond, 3}, // the standard goodput bucket
+		{sim.Millisecond, 3},
+		{250 * sim.Microsecond, 5}, // sub-ms buckets need more digits
+		{sim.Microsecond, 6},
+		{25 * sim.Nanosecond, 9},
+		{0, 9}, // degenerate: full resolution
+	}
+	for _, c := range cases {
+		if got := timePrecision(c.bucket); got != c.want {
+			t.Errorf("timePrecision(%v) = %d, want %d", c.bucket, got, c.want)
+		}
+	}
+}
+
+func TestSubMillisecondBucketsStayDistinct(t *testing.T) {
+	// With the old fixed 'f',3 format, 250 µs buckets collapsed onto
+	// repeated timestamps (0.000, 0.000, 0.000, 0.001, ...).
+	var b strings.Builder
+	err := WriteSeriesCSV(&b, 250*sim.Microsecond,
+		[]string{"v"}, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	want := []string{"0.00000,1", "0.00025,2", "0.00050,3", "0.00075,4"}
+	seen := map[string]bool{}
+	for i, line := range lines[1:] {
+		if line != want[i] {
+			t.Errorf("row %d = %q, want %q", i, line, want[i])
+		}
+		ts := strings.SplitN(line, ",", 2)[0]
+		if seen[ts] {
+			t.Errorf("repeated timestamp %q", ts)
+		}
+		seen[ts] = true
+	}
+}
+
+func TestWriteSeriesCSVEmpty(t *testing.T) {
+	// No series at all: header only, no error.
+	var b strings.Builder
+	if err := WriteSeriesCSV(&b, sim.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "t_seconds\n" {
+		t.Fatalf("no-series output = %q", got)
+	}
+	// Series present but zero-length: still header only.
+	b.Reset()
+	if err := WriteSeriesCSV(&b, sim.Second, []string{"x"}, []float64{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "t_seconds,x\n" {
+		t.Fatalf("empty-series output = %q", got)
+	}
+}
+
+func TestSeriesCSVRoundTrip(t *testing.T) {
+	in := [][]float64{
+		{1.5, -2.25, 3.141592653589793, 0},
+		{1e9, 1e-9, 6.02214076e23, -273.15},
+	}
+	var b strings.Builder
+	if err := WriteSeriesCSV(&b, 100*sim.Millisecond, []string{"a", "b"}, in...); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1+len(in[0]) {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for i, rec := range recs[1:] {
+		ts, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := float64(i) * 0.1; relDiff(ts, want) > 1e-12 {
+			t.Errorf("row %d: t=%v, want %v", i, ts, want)
+		}
+		for j := range in {
+			got, err := strconv.ParseFloat(rec[j+1], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Values serialize at 'g',6: round-trip within 6 significant
+			// digits, exactly for short decimals.
+			want := in[j][i]
+			if rel := relDiff(got, want); rel > 1e-6 {
+				t.Errorf("row %d col %d: %v round-tripped to %v (rel %g)", i, j, want, got, rel)
+			}
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := b
+	if m < 0 {
+		m = -m
+	}
+	if m == 0 {
+		return d
+	}
+	return d / m
+}
+
+func TestWriteStatsSeriesGolden(t *testing.T) {
+	s := stats.NewSeries(0, 100*sim.Millisecond)
+	for i := 0; i < 10; i++ {
+		s.Add(sim.Time(i)*25*sim.Millisecond, float64((i*37)%11)*1.5)
+	}
+	s.Add(sim.Second, 42)
+	var b strings.Builder
+	if err := WriteStatsSeries(&b, "rate", s); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "testdata/stats_series.golden"
+	if *update {
+		if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("golden mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
 	}
 }

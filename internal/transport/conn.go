@@ -5,6 +5,7 @@ import (
 
 	"mpcc/internal/cc"
 	"mpcc/internal/netem"
+	"mpcc/internal/obs"
 	"mpcc/internal/sim"
 	"mpcc/internal/stats"
 )
@@ -39,6 +40,8 @@ type Connection struct {
 	failThreshold int        // consecutive RTO episodes before a subflow fails (≤0 disables)
 	probeInterval sim.Time   // revival-probe period for failed subflows
 	orphans       []*segment // segments stranded while every subflow was dead
+
+	probes *obs.Bus // nil when observability is disabled
 
 	started bool
 	pumping bool
@@ -102,6 +105,11 @@ func WithFailThreshold(n int) ConnOption {
 func WithProbeInterval(d sim.Time) ConnOption {
 	return func(c *Connection) { c.probeInterval = d }
 }
+
+// WithProbes attaches an observability bus: the connection emits scheduler
+// picks, retransmissions, RTO backoff episodes, pacing-rate changes, and
+// subflow up/down transitions. nil (the default) disables all of it.
+func WithProbes(b *obs.Bus) ConnOption { return func(c *Connection) { c.probes = b } }
 
 // WithScheduler sets the multipath scheduler (default: RateScheduler with
 // the paper's 10% threshold for rate-based subflows, which also behaves
@@ -226,6 +234,7 @@ func (c *Connection) pump() {
 		seg := &segment{off: c.nextOff, size: n}
 		c.nextOff += int64(n)
 		s.enqueue(seg)
+		c.probes.SchedPick(c.eng.Now(), c.Name, s.id, n)
 		// Kick immediately: kernel schedulers assign at transmission
 		// opportunity, so an ACK-clocked subflow transmits the segment
 		// right away and the next Pick sees updated in-flight state.

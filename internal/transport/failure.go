@@ -90,6 +90,7 @@ func (s *Subflow) fail() {
 	s.state = SubflowFailed
 	s.fails++
 	s.downAt = s.conn.eng.Now()
+	s.conn.probes.SubflowDown(s.downAt, s.conn.Name, s.id)
 	if s.pacerTimer != nil {
 		s.pacerTimer.Stop()
 		s.pacerTimer = nil
@@ -136,6 +137,7 @@ func (s *Subflow) revive() {
 	}
 	s.state = SubflowActive
 	s.upAt = s.conn.eng.Now()
+	s.conn.probes.SubflowUp(s.upAt, s.conn.Name, s.id)
 	s.consecRTOs, s.backoff = 0, 0
 	s.rtoEpochIdx = s.sendIdx
 	if s.probeTimer != nil {

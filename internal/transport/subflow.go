@@ -227,6 +227,9 @@ func (s *Subflow) rollMI() {
 	if rate < 1 {
 		rate = 1
 	}
+	if rate != s.curRate {
+		s.conn.probes.RateChange(now, s.conn.Name, s.id, rate)
+	}
 	s.curRate = rate
 	mi := &monitorInterval{seq: s.miSeq, start: now, end: now + s.miDuration(rate), rate: rate}
 	s.miSeq++
@@ -346,6 +349,7 @@ func (s *Subflow) nextSegment() *segment {
 			return s.nextSegment() // superseded retransmission
 		}
 		s.retxPkts++
+		s.conn.probes.Retransmit(s.conn.eng.Now(), s.conn.Name, s.id, seg.size)
 		return seg
 	}
 	if len(s.pending) == 0 {
@@ -537,6 +541,10 @@ func (s *Subflow) onRTOTimer(rec *pktRec) {
 		s.consecRTOs++
 		if s.backoff < 16 {
 			s.backoff++
+		}
+		// Guarded: backedOffRTO does real work, unlike the emit helper itself.
+		if s.conn.probes != nil {
+			s.conn.probes.RTOBackoff(s.conn.eng.Now(), s.conn.Name, s.id, s.backedOffRTO(), s.consecRTOs)
 		}
 	}
 	s.markLost(rec, true)

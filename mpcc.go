@@ -21,9 +21,12 @@
 package mpcc
 
 import (
+	"io"
+
 	"mpcc/internal/exp"
 	"mpcc/internal/fairness"
 	"mpcc/internal/netem"
+	"mpcc/internal/obs"
 	"mpcc/internal/sim"
 	"mpcc/internal/topo"
 	"mpcc/internal/transport"
@@ -74,6 +77,23 @@ type (
 	Clos = topo.Clos
 	// ClosConfig sizes a Clos fabric.
 	ClosConfig = topo.ClosConfig
+	// ProbeBus is the cross-layer observability bus (see internal/obs).
+	ProbeBus = obs.Bus
+	// ProbeEvent is one typed probe record delivered to sinks.
+	ProbeEvent = obs.Event
+	// ProbeSink consumes probe events.
+	ProbeSink = obs.Sink
+	// ProbeSinkFunc adapts a function to ProbeSink.
+	ProbeSinkFunc = obs.SinkFunc
+	// MetricsRegistry aggregates probe events into counters, gauges, and
+	// histograms.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a registry frozen at the end of a run.
+	MetricsSnapshot = obs.Snapshot
+	// JSONLWriter is a ProbeSink writing byte-reproducible JSONL traces.
+	JSONLWriter = obs.JSONLWriter
+	// QueueProbe exposes one link's queue depth to SampleQueues.
+	QueueProbe = obs.QueueProbe
 )
 
 // Time units.
@@ -125,6 +145,30 @@ func WithProbeInterval(d Time) ConnOption { return transport.WithProbeInterval(d
 
 // NewNetwork returns an empty network of named links on eng.
 func NewNetwork(eng *Engine) *Network { return topo.NewNet(eng) }
+
+// NewProbeBus returns an observability bus delivering to the given sinks.
+// Attach it via AttachOptions.Probes (and Link.SetProbes for link drops);
+// a nil *ProbeBus everywhere is the disabled, zero-overhead state.
+func NewProbeBus(sinks ...ProbeSink) *ProbeBus { return obs.NewBus(sinks...) }
+
+// NewMetricsRegistry returns an empty metrics registry; attach it to a bus
+// with SetRegistry to aggregate events as they are emitted.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewJSONLWriter returns a trace sink writing one JSON object per event to
+// w, with stable field order (byte-reproducible for a fixed seed).
+func NewJSONLWriter(w io.Writer) *JSONLWriter { return obs.NewJSONLWriter(w) }
+
+// SampleQueues periodically emits queue-depth events for the given link
+// probes (Link.QueueProbe) onto b until the returned stop function is
+// called.
+func SampleQueues(eng *Engine, b *ProbeBus, every Time, probes ...QueueProbe) (stop func()) {
+	return obs.SampleQueues(eng, b, every, probes...)
+}
+
+// WithProbes attaches an observability bus to a Connection being built via
+// ConnOptions (NewConnection wires AttachOptions.Probes automatically).
+func WithProbes(b *ProbeBus) ConnOption { return transport.WithProbes(b) }
 
 // NewFile returns a fixed-size transfer application.
 func NewFile(bytes int64) transport.App { return transport.NewFile(bytes) }
