@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fuzz fmt
+.PHONY: build test check bench fuzz simtest fmt
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,16 @@ check:
 # BENCH_results.json (benchmark name → ns/op, events/op, allocs/op, …).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_results.json
+
+# Deep simulation-testing sweep: SIMTEST_N randomized scenarios under the
+# full invariant oracle (see internal/simtest and DESIGN.md "Correctness
+# architecture"). The in-test default is a few hundred scenarios; this
+# target raises the budget for a pre-merge soak. Failing scenarios shrink
+# themselves and print a one-line SIMTEST_SCENARIO repro command.
+SIMTEST_N ?= 2000
+simtest:
+	SIMTEST_N=$(SIMTEST_N) $(GO) test ./internal/simtest -count=1 -v -run TestRandomScenarios
+	$(GO) test -race ./internal/simtest -count=1
 
 # Short fuzz pass over every native fuzz target.
 fuzz:

@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpcc/internal/obs"
+	"mpcc/internal/sim"
+	"mpcc/internal/topo"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSpec is a deliberately small fixed-seed run: low link rates and a
+// short horizon keep the checked-in trace a few hundred KB while still
+// exercising every event kind the JSONL writer emits (MI decisions, utility
+// samples, rate changes, drops, queue samples, scheduler picks).
+func goldenSpec(bus *obs.Bus) Spec {
+	return Spec{
+		Seed:     11,
+		Duration: 1200 * sim.Millisecond,
+		Topo:     topo.Fig3c(),
+		Proto:    MPCCLoss,
+		Probes:   bus,
+		Tweak: func(net *topo.Net) {
+			for _, name := range net.LinkNames() {
+				l := net.Link(name)
+				l.SetRate(2e6)
+				l.SetDelay(10 * sim.Millisecond)
+				l.SetBuffer(12000)
+			}
+		},
+	}
+}
+
+// TestGoldenTrace pins the byte-exact JSONL trace of a fixed-seed run. Any
+// diff means either the simulation's event sequence changed (an intentional
+// behavior change — regenerate with `go test ./internal/exp -run
+// TestGoldenTrace -update`) or determinism broke (a bug).
+func TestGoldenTrace(t *testing.T) {
+	var buf bytes.Buffer
+	jw := obs.NewJSONLWriter(&buf)
+	Run(goldenSpec(obs.NewBus(jw)))
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+	if len(got) == 0 {
+		t.Fatal("golden run produced an empty trace")
+	}
+
+	golden := filepath.Join("testdata", "trace_fig3c_seed11.jsonl.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace diverges from %s: %s\nIf the simulation change is intentional, regenerate with -update.",
+			golden, firstDiff(got, want))
+	}
+
+	// The golden file must itself be a valid trace.
+	events := 0
+	if err := obs.ReadTrace(bytes.NewReader(want), func(obs.Event) error {
+		events++
+		return nil
+	}); err != nil {
+		t.Fatalf("golden trace does not parse: %v", err)
+	}
+	if events == 0 {
+		t.Fatal("golden trace holds no events")
+	}
+}
+
+// firstDiff locates the first divergent line for a readable failure.
+func firstDiff(got, want []byte) string {
+	gl, wl := bytes.Split(got, []byte{'\n'}), bytes.Split(want, []byte{'\n'})
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			return fmt.Sprintf("first diff at line %d:\n  got:  %s\n  want: %s", i+1, gl[i], wl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: got %d lines, want %d", len(gl), len(wl))
+}

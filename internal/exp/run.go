@@ -74,6 +74,12 @@ type Result struct {
 	Jain float64
 	// Net gives Tweak-adjusted access to the built network (inspection).
 	Net *topo.Net
+	// Conns gives post-run access to the transport connections, keyed by
+	// flow name, so correctness oracles (internal/simtest) can audit
+	// end-of-run transport state (per-subflow byte ledgers, failure-detector
+	// state) against the network's link counters. RunAveraged keeps the
+	// first replicate's connections.
+	Conns map[string]*transport.Connection
 	// Notes records aggregation anomalies (e.g. replicates disagreeing on
 	// subflow counts in RunAveraged).
 	Notes []string
@@ -152,7 +158,7 @@ func Run(s Spec) *Result {
 	}
 	eng.Run(s.Duration)
 
-	res := &Result{Flows: make(map[string]*FlowResult, len(conns)), Net: net}
+	res := &Result{Flows: make(map[string]*FlowResult, len(conns)), Net: net, Conns: conns}
 	if bus != nil {
 		if reg := bus.Registry(); reg != nil {
 			reg.Gauge("sim.events_processed").Set(float64(eng.Processed))

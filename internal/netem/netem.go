@@ -117,6 +117,7 @@ type Link struct {
 	lastArrival sim.Time // monotonic delivery guard under jitter
 
 	queuedBytes int      // bytes awaiting or in serialization
+	maxQueued   int      // lifetime high-water mark of queuedBytes
 	busyUntil   sim.Time // when the transmitter frees up
 
 	stats LinkStats
@@ -248,6 +249,13 @@ func (l *Link) Loss() float64 { return l.lossProb }
 // QueuedBytes returns bytes currently queued or in serialization.
 func (l *Link) QueuedBytes() int { return l.queuedBytes }
 
+// MaxQueuedBytes returns the lifetime high-water mark of QueuedBytes. It is
+// updated on every enqueue (not just at sampling instants), so it bounds the
+// true occupancy exactly: drop-tail admission never lets it exceed the
+// configured buffer plus one in-service packet (checked by internal/simtest
+// and the queue-bound regression test).
+func (l *Link) MaxQueuedBytes() int { return l.maxQueued }
+
 // SetProbes attaches an observability bus; the link emits a drop event (with
 // cause) for every dropped packet. nil detaches.
 func (l *Link) SetProbes(b *obs.Bus) { l.probes = b }
@@ -320,6 +328,9 @@ func (l *Link) enqueue(pkt *Packet) {
 	l.stats.EnqueuedPackets++
 	l.stats.EnqueuedBytes += uint64(pkt.Size)
 	l.queuedBytes += pkt.Size
+	if l.queuedBytes > l.maxQueued {
+		l.maxQueued = l.queuedBytes
+	}
 
 	txTime := sim.FromSeconds(float64(pkt.Size) * 8 / l.rateBps)
 	start := now

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"hash"
+)
+
+// HashSink folds every event's canonical JSONL encoding into a running
+// SHA-256, without buffering the trace. Because AppendEvent is
+// byte-reproducible (fixed field order, fixed float format), two runs
+// produce the same Sum exactly when they would produce byte-identical
+// JSONL traces — which makes the sink the cheap half of a replay-
+// determinism gate: hash two runs of the same seed and compare, instead of
+// holding two multi-megabyte traces in memory.
+type HashSink struct {
+	h   hash.Hash
+	buf []byte
+	n   int
+}
+
+// NewHashSink returns an empty trace hasher.
+func NewHashSink() *HashSink { return &HashSink{h: sha256.New()} }
+
+// Emit implements Sink.
+func (s *HashSink) Emit(e Event) {
+	s.buf = AppendEvent(s.buf[:0], e)
+	s.h.Write(s.buf)
+	s.n++
+}
+
+// Events returns how many events have been hashed.
+func (s *HashSink) Events() int { return s.n }
+
+// Sum returns the hex SHA-256 of the trace so far. It does not reset the
+// sink; further events keep accumulating.
+func (s *HashSink) Sum() string {
+	return hex.EncodeToString(s.h.Sum(nil))
+}

@@ -1,0 +1,232 @@
+package simtest
+
+import (
+	"fmt"
+
+	"mpcc/internal/exp"
+	"mpcc/internal/obs"
+	"mpcc/internal/sim"
+	"mpcc/internal/topo"
+)
+
+// Invariant names, used to correlate a shrunk scenario with the original
+// failure (the shrinker only accepts candidates that still violate the same
+// invariant).
+const (
+	InvTimeMonotonic = "time-monotonic"    // event timestamps never decrease, never pass the horizon
+	InvQueueBound    = "queue-bound"       // queue depth ≤ configured buffer + one in-service packet
+	InvSchedOnFailed = "sched-on-failed"   // no scheduler picks on a failed subflow
+	InvSubflowState  = "subflow-state"     // down/up transitions alternate
+	InvRateBounds    = "rate-bounds"       // controller rates within [MinRateBps, MaxRateBps]
+	InvConservation  = "link-conservation" // injected = delivered + dropped + in-queue per link
+	InvByteLedger    = "byte-ledger"       // acked ≤ received ≤ offered; delivered ≤ sent per subflow
+	InvDelivery      = "expect-delivery"   // flagged file flows complete by the horizon
+	InvTraceDetermin = "trace-determinism" // same scenario ⇒ same trace hash
+	InvParallelIdent = "parallel-identity" // sequential and parallel execution agree
+)
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	Invariant string
+	At        sim.Time // virtual time of the offending event (0 for final checks)
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at %v: %s", v.Invariant, v.At, v.Detail)
+}
+
+// maxViolations caps how many violations an oracle records verbatim; one
+// broken invariant often fires on every subsequent event, and the first few
+// occurrences carry all the signal.
+const maxViolations = 32
+
+// pktSlack is the per-link queue-depth slack the oracle allows over the
+// configured buffer: drop-tail admission does not charge the in-service
+// packet against the buffer (see netem.Link.enqueue), so true occupancy may
+// exceed the buffer by at most one maximum-size packet.
+const pktSlack = 1500
+
+type flowSF struct {
+	flow string
+	sf   int32
+}
+
+type rateBound struct{ min, max float64 }
+
+// Oracle is an obs.Sink that checks cross-layer invariants live as events
+// stream out of a run, plus a set of end-of-run conservation checks against
+// the final transport and link state (Finalize). One oracle audits one run.
+type Oracle struct {
+	violations []Violation
+	dropped    int // violations beyond maxViolations
+
+	lastAt  sim.Time
+	horizon sim.Time // learned from the run-start event
+
+	net    *topo.Net
+	down   map[flowSF]bool
+	bounds map[string]rateBound // flow → controller rate bounds
+
+	// bufBound overrides the live buffer readout per link — the hook the
+	// injected-violation tests use to prove the oracle catches a breach.
+	bufBound map[string]int
+
+	expectDelivery map[string]int64 // flow → file bytes that must complete
+}
+
+// NewOracle returns an oracle with no flow-specific knowledge; register
+// rate bounds and delivery expectations before the run starts.
+func NewOracle() *Oracle {
+	return &Oracle{
+		down:           make(map[flowSF]bool),
+		bounds:         make(map[string]rateBound),
+		bufBound:       make(map[string]int),
+		expectDelivery: make(map[string]int64),
+	}
+}
+
+// ExpectRateBounds registers the [min, max] bits/s envelope every
+// mi-decision and rate-change event of flow must respect.
+func (o *Oracle) ExpectRateBounds(flow string, min, max float64) {
+	o.bounds[flow] = rateBound{min, max}
+}
+
+// ExpectDelivery registers that flow must have acknowledged and reassembled
+// at least bytes of stream data by the end of the run.
+func (o *Oracle) ExpectDelivery(flow string, bytes int64) {
+	o.expectDelivery[flow] = bytes
+}
+
+// OverrideBufferBound pins the oracle's queue bound for a link, replacing
+// the live buffer readout. Lowering it below real occupancy is the standard
+// way to prove the oracle catches violations end to end.
+func (o *Oracle) OverrideBufferBound(link string, bytes int) {
+	o.bufBound[link] = bytes
+}
+
+// bindNet gives the oracle live access to the built network (called from
+// the scenario's Tweak, before any event fires).
+func (o *Oracle) bindNet(net *topo.Net) { o.net = net }
+
+// Violations returns everything recorded so far.
+func (o *Oracle) Violations() []Violation { return o.violations }
+
+func (o *Oracle) report(inv string, at sim.Time, format string, args ...any) {
+	if len(o.violations) >= maxViolations {
+		o.dropped++
+		return
+	}
+	o.violations = append(o.violations, Violation{inv, at, fmt.Sprintf(format, args...)})
+}
+
+// queueBoundFor returns the depth ceiling for a link: the injected override
+// when set, otherwise the link's current buffer plus one in-service packet.
+func (o *Oracle) queueBoundFor(link string) (int, bool) {
+	if b, ok := o.bufBound[link]; ok {
+		return b, true
+	}
+	if o.net == nil {
+		return 0, false
+	}
+	return o.net.Link(link).Buffer() + pktSlack, true
+}
+
+// Emit implements obs.Sink: the live invariant checks.
+func (o *Oracle) Emit(e obs.Event) {
+	// Utility samples are exempt from stream ordering: they carry the *MI's
+	// end time* but are emitted when the interval's feedback accounting
+	// completes, and under loss an MI's accounting can finish after its
+	// successor's — so neither global nor per-subflow ordering is an
+	// invariant for them. The horizon bound below still applies.
+	if e.Kind != obs.KindUtility {
+		if e.At < o.lastAt {
+			o.report(InvTimeMonotonic, e.At, "event %v at %v after an event at %v", e.Kind, e.At, o.lastAt)
+		}
+		o.lastAt = e.At
+	}
+	if o.horizon > 0 && e.At > o.horizon {
+		o.report(InvTimeMonotonic, e.At, "event %v at %v beyond horizon %v", e.Kind, e.At, o.horizon)
+	}
+
+	switch e.Kind {
+	case obs.KindRunStart:
+		o.horizon = sim.FromSeconds(e.Value)
+	case obs.KindQueueDepth:
+		if bound, ok := o.queueBoundFor(e.Link); ok && int(e.Bytes) > bound {
+			o.report(InvQueueBound, e.At, "link %s queue depth %d exceeds bound %d", e.Link, e.Bytes, bound)
+		}
+	case obs.KindSchedPick:
+		if o.down[flowSF{e.Flow, e.Subflow}] {
+			o.report(InvSchedOnFailed, e.At, "scheduler picked failed subflow %s/sf%d", e.Flow, e.Subflow)
+		}
+	case obs.KindSubflowDown:
+		key := flowSF{e.Flow, e.Subflow}
+		if o.down[key] {
+			o.report(InvSubflowState, e.At, "subflow %s/sf%d declared down twice", e.Flow, e.Subflow)
+		}
+		o.down[key] = true
+	case obs.KindSubflowUp:
+		key := flowSF{e.Flow, e.Subflow}
+		if !o.down[key] {
+			o.report(InvSubflowState, e.At, "subflow %s/sf%d revived while not down", e.Flow, e.Subflow)
+		}
+		delete(o.down, key)
+	case obs.KindMIDecision, obs.KindRateChange:
+		if b, ok := o.bounds[e.Flow]; ok && (e.Value < b.min-0.5 || e.Value > b.max+0.5) {
+			o.report(InvRateBounds, e.At, "%s rate %.0f outside [%.0f, %.0f] (%v)",
+				e.Flow, e.Value, b.min, b.max, e.Kind)
+		}
+	}
+}
+
+// Finalize runs the end-of-run conservation checks against the finished
+// simulation and returns the full violation list (live + final).
+func (o *Oracle) Finalize(res *exp.Result) []Violation {
+	if res.Net != nil {
+		for _, name := range res.Net.LinkNames() {
+			l := res.Net.Link(name)
+			st := l.Stats()
+			drops := st.DropsQueueFull + st.DropsRandom + st.DropsOutage + st.DropsBurst
+			injected := st.EnqueuedBytes // admitted bytes; drops never enter the queue
+			if delivered, queued := st.DeliveredBytes, uint64(l.QueuedBytes()); injected != delivered+queued {
+				o.report(InvConservation, 0,
+					"link %s: enqueued %d ≠ delivered %d + in-queue %d (drops %d)",
+					name, injected, delivered, queued, drops)
+			}
+			if bound, ok := o.queueBoundFor(name); ok && l.MaxQueuedBytes() > bound {
+				o.report(InvQueueBound, 0, "link %s occupancy high-water %d exceeds bound %d",
+					name, l.MaxQueuedBytes(), bound)
+			}
+		}
+	}
+	for name, conn := range res.Conns {
+		acked, received, offered := conn.AckedBytes(), conn.ReceivedBytes(), conn.OfferedBytes()
+		if acked > received || received > offered {
+			o.report(InvByteLedger, 0, "flow %s: acked %d / received %d / offered %d out of order",
+				name, acked, received, offered)
+		}
+		for _, sf := range conn.Subflows() {
+			if sf.DeliveredBytes() > sf.SentBytes() {
+				o.report(InvByteLedger, 0, "flow %s sf%d: delivered %d > sent %d",
+					name, sf.ID(), sf.DeliveredBytes(), sf.SentBytes())
+			}
+			if sf.InflightPkts() < 0 {
+				o.report(InvByteLedger, 0, "flow %s sf%d: negative inflight %d",
+					name, sf.ID(), sf.InflightPkts())
+			}
+		}
+		if want, ok := o.expectDelivery[name]; ok {
+			if conn.FCT() < 0 || conn.AckedBytes() < want || conn.InOrderBytes() < want {
+				o.report(InvDelivery, 0,
+					"flow %s: file of %d bytes not fully delivered (fct %v, acked %d, in-order %d)",
+					name, want, conn.FCT(), conn.AckedBytes(), conn.InOrderBytes())
+			}
+		}
+	}
+	if o.dropped > 0 {
+		o.report(o.violations[len(o.violations)-1].Invariant, 0,
+			"…and %d further violations suppressed", o.dropped)
+	}
+	return o.violations
+}

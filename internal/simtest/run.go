@@ -1,0 +1,141 @@
+package simtest
+
+import (
+	"fmt"
+
+	ccmpcc "mpcc/internal/cc/mpcc"
+	"mpcc/internal/exp"
+	"mpcc/internal/obs"
+)
+
+// Report is the outcome of auditing one scenario.
+type Report struct {
+	Scenario   Scenario
+	Violations []Violation
+	// TraceHash is the SHA-256 over the run's JSONL probe trace; with a
+	// fixed scenario it is the replay-determinism fingerprint.
+	TraceHash string
+	Events    int // probe events hashed
+	Result    *exp.Result
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Report) Failed() bool { return len(r.Violations) > 0 }
+
+// Has reports whether some violation is of the named invariant.
+func (r *Report) Has(inv string) bool {
+	for _, v := range r.Violations {
+		if v.Invariant == inv {
+			return true
+		}
+	}
+	return false
+}
+
+// Invariants returns the distinct violated invariant names, in first-seen
+// order (the shrinker matches on the first).
+func (r *Report) Invariants() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, v := range r.Violations {
+		if !seen[v.Invariant] {
+			seen[v.Invariant] = true
+			out = append(out, v.Invariant)
+		}
+	}
+	return out
+}
+
+// Options tunes one Check run.
+type Options struct {
+	// BufferBound overrides the oracle's per-link queue-depth ceiling
+	// (link name → bytes). Setting a bound below real occupancy is how the
+	// tests prove the oracle catches a violation end to end.
+	BufferBound map[string]int
+	// Sinks are extra probe sinks attached to the run's bus (e.g. a JSONL
+	// writer when dumping a failing trace).
+	Sinks []obs.Sink
+}
+
+// Check runs the scenario under the full invariant oracle with a trace-hash
+// sink and reports what it saw. It is a pure function of the scenario: the
+// run happens on a fresh single-threaded engine seeded from Scenario.Seed,
+// so two Checks of the same scenario are byte-identical.
+func Check(sc Scenario) *Report { return CheckOpts(sc, Options{}) }
+
+// CheckOpts is Check with options.
+func CheckOpts(sc Scenario, opts Options) *Report {
+	o := NewOracle()
+	for link, b := range opts.BufferBound {
+		o.OverrideBufferBound(link, b)
+	}
+	cfg := ccmpcc.DefaultConfig(ccmpcc.LossParams())
+	for i, f := range sc.Flows {
+		switch exp.Protocol(f.Proto) {
+		case exp.MPCCLoss, exp.MPCCLatency, exp.Vivace:
+			// Rate-based flows: every MI decision and applied pacing rate
+			// must stay inside the controller's configured envelope.
+			o.ExpectRateBounds(FlowName(i), cfg.MinRateBps, cfg.MaxRateBps)
+		}
+		if f.Expect {
+			o.ExpectDelivery(FlowName(i), int64(f.FileKB)*1024)
+		}
+	}
+	hs := obs.NewHashSink()
+	bus := obs.NewBus(hs, o)
+	for _, s := range opts.Sinks {
+		bus.AddSink(s)
+	}
+	res := exp.Run(sc.buildSpec(bus, o))
+	return &Report{
+		Scenario:   sc,
+		Violations: o.Finalize(res),
+		TraceHash:  hs.Sum(),
+		Events:     hs.Events(),
+		Result:     res,
+	}
+}
+
+// CheckDeterminism runs the scenario twice and appends a trace-determinism
+// violation to the first report if the two probe traces are not
+// byte-identical.
+func CheckDeterminism(sc Scenario) *Report {
+	r1 := Check(sc)
+	r2 := Check(sc)
+	if r1.TraceHash != r2.TraceHash || r1.Events != r2.Events {
+		r1.Violations = append(r1.Violations, Violation{
+			Invariant: InvTraceDetermin,
+			Detail: fmt.Sprintf("replays diverge: %s (%d events) vs %s (%d events)",
+				r1.TraceHash[:12], r1.Events, r2.TraceHash[:12], r2.Events),
+		})
+	}
+	return r1
+}
+
+// ParallelIdentity checks the other half of replay determinism: auditing the
+// scenarios one at a time must be indistinguishable from auditing them under
+// exp.RunParallel with the given worker count. Returns one violation per
+// scenario whose trace hashes differ.
+func ParallelIdentity(scs []Scenario, workers int) []Violation {
+	seq := make([]string, len(scs))
+	for i, sc := range scs {
+		seq[i] = Check(sc).TraceHash
+	}
+	par := make([]string, len(scs))
+	prev := exp.Workers()
+	exp.SetWorkers(workers)
+	exp.RunParallel(len(scs), func(i int) { par[i] = Check(scs[i]).TraceHash })
+	exp.SetWorkers(prev)
+
+	var out []Violation
+	for i := range scs {
+		if seq[i] != par[i] {
+			out = append(out, Violation{
+				Invariant: InvParallelIdent,
+				Detail: fmt.Sprintf("scenario seed %d: sequential %s ≠ parallel(%d) %s",
+					scs[i].Seed, seq[i][:12], workers, par[i][:12]),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,430 @@
+// Package simtest is the deterministic simulation-testing subsystem: it
+// turns the probe firehose of internal/obs into machine-checked invariants
+// (Oracle), generates seeded random scenarios — topology, link parameters,
+// fault timelines, workload mix — to drive the whole stack through them
+// (Scenario, Check), shrinks a failing scenario to a minimal reproducer
+// (Shrink), and gates replay determinism: same seed ⇒ byte-identical trace
+// hash, and sequential vs parallel execution identity.
+//
+// The design follows FoundationDB-style deterministic simulation testing:
+// because every run is a pure function of its Scenario (single-threaded
+// engine, seeded RNG, no wall clock), any failure is replayable from a
+// one-line repro command, and a minimizer can search the scenario space by
+// simply re-running candidates. See DESIGN.md "Correctness architecture".
+package simtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mpcc/internal/exp"
+	"mpcc/internal/netem"
+	"mpcc/internal/obs"
+	"mpcc/internal/sim"
+	"mpcc/internal/topo"
+)
+
+// LinkSpec declares one emulated link of a scenario.
+type LinkSpec struct {
+	RateMbps float64 `json:"rate"`
+	DelayMs  float64 `json:"delay"`
+	BufBytes int     `json:"buf"`
+	LossPct  float64 `json:"loss,omitempty"`
+	JitterMs float64 `json:"jitter,omitempty"`
+}
+
+// FlowSpec declares one connection: its protocol, one link-index path per
+// subflow, an optional start offset and file size (0 = bulk), and whether
+// the oracle must see the file fully delivered by the horizon (set by the
+// generator only under conservative parameters).
+type FlowSpec struct {
+	Proto   string  `json:"proto"`
+	Paths   [][]int `json:"paths"`
+	StartMs float64 `json:"start,omitempty"`
+	FileKB  int     `json:"file,omitempty"`
+	Expect  bool    `json:"expect,omitempty"`
+}
+
+// Fault kinds of FaultSpec.
+const (
+	FaultOutage = "outage" // link blackholed for DurMs
+	FaultFlaps  = "flaps"  // Cycles × (down DurMs, up UpMs)
+	FaultBurst  = "burst"  // Gilbert–Elliott burst loss for DurMs
+	FaultRate   = "rate"   // bandwidth cut to RateMbps for DurMs
+)
+
+// FaultSpec schedules one deterministic fault on a link.
+type FaultSpec struct {
+	Kind     string  `json:"kind"`
+	Link     int     `json:"link"`
+	AtMs     float64 `json:"at"`
+	DurMs    float64 `json:"dur"`
+	Cycles   int     `json:"n,omitempty"`
+	UpMs     float64 `json:"up,omitempty"`
+	RateMbps float64 `json:"rate,omitempty"`
+	Severity float64 `json:"sev,omitempty"` // burst badness in (0,1]
+}
+
+// EndMs returns when the fault's last scheduled change fires.
+func (f FaultSpec) EndMs() float64 {
+	if f.Kind == FaultFlaps {
+		return f.AtMs + float64(f.Cycles)*(f.DurMs+f.UpMs)
+	}
+	return f.AtMs + f.DurMs
+}
+
+// Scenario is one fully deterministic simulation configuration. It is a
+// plain value: the same Scenario always produces the same run, and the
+// shrinker minimizes failing scenarios by mutating this struct directly.
+type Scenario struct {
+	Seed       int64       `json:"seed"`
+	DurationMs float64     `json:"dur"`
+	Links      []LinkSpec  `json:"links"`
+	Flows      []FlowSpec  `json:"flows"`
+	Faults     []FaultSpec `json:"faults,omitempty"`
+}
+
+// Duration returns the run horizon in virtual time.
+func (s Scenario) Duration() sim.Time { return sim.FromSeconds(s.DurationMs / 1000) }
+
+// FlowName returns the deterministic name of flow i ("f0", "f1", …).
+func FlowName(i int) string { return fmt.Sprintf("f%d", i) }
+
+// JSON returns the scenario's compact canonical encoding (the payload of
+// ReproCommand).
+func (s Scenario) JSON() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic("simtest: scenario marshal: " + err.Error()) // plain-value struct cannot fail
+	}
+	return string(b)
+}
+
+// ParseScenario decodes a scenario from its JSON form.
+func ParseScenario(data string) (Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal([]byte(data), &s); err != nil {
+		return Scenario{}, fmt.Errorf("simtest: parse scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// Validate checks the structural sanity of a scenario (link references in
+// range, positive parameters), so a hand-edited repro fails loudly instead
+// of panicking deep inside the emulator.
+func (s Scenario) Validate() error {
+	if s.DurationMs <= 0 {
+		return fmt.Errorf("simtest: non-positive duration %v", s.DurationMs)
+	}
+	if len(s.Links) == 0 {
+		return fmt.Errorf("simtest: no links")
+	}
+	for i, l := range s.Links {
+		if l.RateMbps <= 0 || l.DelayMs < 0 || l.BufBytes <= 0 || l.LossPct < 0 || l.LossPct > 100 {
+			return fmt.Errorf("simtest: link %d has invalid parameters %+v", i, l)
+		}
+	}
+	if len(s.Flows) == 0 {
+		return fmt.Errorf("simtest: no flows")
+	}
+	for i, f := range s.Flows {
+		if len(f.Paths) == 0 {
+			return fmt.Errorf("simtest: flow %d has no paths", i)
+		}
+		for _, path := range f.Paths {
+			if len(path) == 0 {
+				return fmt.Errorf("simtest: flow %d has an empty path", i)
+			}
+			for _, li := range path {
+				if li < 0 || li >= len(s.Links) {
+					return fmt.Errorf("simtest: flow %d references link %d of %d", i, li, len(s.Links))
+				}
+			}
+		}
+	}
+	for i, f := range s.Faults {
+		if f.Link < 0 || f.Link >= len(s.Links) {
+			return fmt.Errorf("simtest: fault %d references link %d of %d", i, f.Link, len(s.Links))
+		}
+		if f.AtMs < 0 || f.DurMs < 0 {
+			return fmt.Errorf("simtest: fault %d scheduled in the past %+v", i, f)
+		}
+	}
+	return nil
+}
+
+// ReproCommand returns the one-line shell command that replays exactly this
+// scenario under the full oracle.
+func (s Scenario) ReproCommand() string {
+	return fmt.Sprintf("SIMTEST_SCENARIO='%s' go test ./internal/simtest -run TestReproScenario", s.JSON())
+}
+
+// String renders a compact human summary.
+func (s Scenario) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d dur=%.1fs links=[", s.Seed, s.DurationMs/1000)
+	for i, l := range s.Links {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.0fMbps/%.0fms/%dB", l.RateMbps, l.DelayMs, l.BufBytes)
+		if l.LossPct > 0 {
+			fmt.Fprintf(&b, "/%.1f%%", l.LossPct)
+		}
+	}
+	b.WriteString("] flows=[")
+	for i, f := range s.Flows {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%s×%d", FlowName(i), f.Proto, len(f.Paths))
+		if f.FileKB > 0 {
+			fmt.Fprintf(&b, ":%dKB", f.FileKB)
+		}
+	}
+	b.WriteString("]")
+	if len(s.Faults) > 0 {
+		b.WriteString(" faults=[")
+		for i, f := range s.Faults {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s@l%d+%.0fms", f.Kind, f.Link, f.AtMs)
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// ---- seeded generation ----
+
+// protoPool is the protocol mix scenarios draw from, weighted toward the
+// paper's protagonist so the MPCC learning loop sees the most fuzzing.
+var protoPool = []exp.Protocol{
+	exp.MPCCLoss, exp.MPCCLoss, exp.MPCCLoss,
+	exp.MPCCLatency, exp.MPCCLatency,
+	exp.Vivace,
+	exp.LIA, exp.OLIA,
+	exp.Reno, exp.Cubic, exp.BBR,
+}
+
+// FromSeed deterministically generates the scenario identified by seed: the
+// same seed always yields the same scenario, so a corpus of seeds is a
+// corpus of scenarios. Parameter ranges are tuned to finish one scenario in
+// tens of milliseconds of wall time while still covering the interesting
+// regimes: buffers from half to twice the BDP, loss up to 2%, outages,
+// flaps, burst-loss windows and bandwidth cuts, and one to three competing
+// flows mixing protocols, subflow counts and workloads.
+func FromSeed(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	s := Scenario{Seed: seed, DurationMs: 2200 + rng.Float64()*1300}
+
+	nLinks := 1 + rng.Intn(3)
+	for i := 0; i < nLinks; i++ {
+		rate := 3 + rng.Float64()*27  // Mbps
+		delay := 2 + rng.Float64()*38 // ms
+		bdp := rate * 1e6 * delay / 1000 / 8
+		buf := int(bdp * (0.5 + rng.Float64()*1.5))
+		if buf < 6000 {
+			buf = 6000
+		}
+		l := LinkSpec{RateMbps: rate, DelayMs: delay, BufBytes: buf}
+		if rng.Float64() < 0.3 {
+			l.LossPct = rng.Float64() * 2
+		}
+		if rng.Float64() < 0.15 {
+			l.JitterMs = rng.Float64() * 3
+		}
+		s.Links = append(s.Links, l)
+	}
+
+	nFlows := 1 + rng.Intn(3)
+	for i := 0; i < nFlows; i++ {
+		f := FlowSpec{Proto: string(protoPool[rng.Intn(len(protoPool))])}
+		nSub := 1
+		if rng.Float64() < 0.6 {
+			nSub = 2
+		}
+		for j := 0; j < nSub; j++ {
+			path := []int{rng.Intn(nLinks)}
+			// Occasionally route a subflow across two links in series, so
+			// multi-hop conservation is exercised too.
+			if nLinks > 1 && rng.Float64() < 0.2 {
+				other := rng.Intn(nLinks)
+				if other != path[0] {
+					path = append(path, other)
+				}
+			}
+			f.Paths = append(f.Paths, path)
+		}
+		if rng.Float64() < 0.3 {
+			f.StartMs = rng.Float64() * 0.2 * s.DurationMs
+		}
+		if rng.Float64() < 0.5 {
+			f.FileKB = 20 + rng.Intn(130)
+		}
+		s.Flows = append(s.Flows, f)
+	}
+
+	nFaults := rng.Intn(4)
+	for i := 0; i < nFaults; i++ {
+		f := FaultSpec{Link: rng.Intn(nLinks)}
+		f.AtMs = (0.15 + rng.Float64()*0.3) * s.DurationMs
+		budget := 0.55*s.DurationMs - f.AtMs // all faults end by 55% of the run
+		switch rng.Intn(4) {
+		case 0:
+			f.Kind = FaultOutage
+			f.DurMs = 100 + rng.Float64()*500
+		case 1:
+			f.Kind = FaultFlaps
+			f.Cycles = 2 + rng.Intn(3)
+			f.DurMs = 60 + rng.Float64()*140 // down phase
+			f.UpMs = 100 + rng.Float64()*200 // up phase
+			if total := float64(f.Cycles) * (f.DurMs + f.UpMs); total > budget {
+				scale := budget / total
+				f.DurMs *= scale
+				f.UpMs *= scale
+			}
+		case 2:
+			f.Kind = FaultBurst
+			f.DurMs = 150 + rng.Float64()*450
+			f.Severity = 0.3 + rng.Float64()*0.7
+		case 3:
+			f.Kind = FaultRate
+			f.DurMs = 150 + rng.Float64()*450
+			f.RateMbps = s.Links[f.Link].RateMbps * (0.3 + rng.Float64()*0.5)
+		}
+		if f.Kind != FaultFlaps && f.DurMs > budget {
+			f.DurMs = budget
+		}
+		s.Faults = append(s.Faults, f)
+	}
+
+	s.markExpectations()
+	return s
+}
+
+// markExpectations flags the file flows whose completion the oracle must
+// see. The conditions are deliberately conservative — small file, early
+// start, low loss, no burst loss on its links, ample post-fault slack — so
+// a missed delivery indicates a liveness bug (data stranded by fault
+// recovery), not a slow-but-healthy run.
+func (s *Scenario) markExpectations() {
+	lastFaultEnd := 0.0
+	burstLink := make(map[int]bool)
+	for _, f := range s.Faults {
+		if end := f.EndMs(); end > lastFaultEnd {
+			lastFaultEnd = end
+		}
+		if f.Kind == FaultBurst {
+			burstLink[f.Link] = true
+		}
+	}
+	if lastFaultEnd > 0.55*s.DurationMs || s.DurationMs < 2200 {
+		return
+	}
+	for i := range s.Flows {
+		f := &s.Flows[i]
+		if f.FileKB == 0 || f.FileKB > 48 || f.StartMs > 0.1*s.DurationMs {
+			continue
+		}
+		clean := true
+		for _, path := range f.Paths {
+			for _, li := range path {
+				if burstLink[li] || s.Links[li].LossPct > 1 {
+					clean = false
+				}
+			}
+		}
+		if clean {
+			f.Expect = true
+		}
+	}
+}
+
+// ---- scenario → experiment spec ----
+
+// geFromSeverity maps a scalar severity in (0,1] onto Gilbert–Elliott
+// parameters: higher severity means longer and lossier bad states.
+func geFromSeverity(sev float64) netem.GilbertElliott {
+	return netem.GilbertElliott{
+		PGoodBad: 0.01 + 0.04*sev,
+		PBadGood: 0.25,
+		LossGood: 0,
+		LossBad:  0.4 + 0.6*sev,
+	}
+}
+
+// buildSpec lowers the scenario onto the experiment harness: a custom
+// parallel/serial-link topology, per-link parameter tweaks, the scripted
+// fault timeline, and the flow list. The oracle (optional) is bound to the
+// built network inside Tweak so its live checks can read link state.
+func (s Scenario) buildSpec(bus *obs.Bus, o *Oracle) exp.Spec {
+	linkNames := make([]string, len(s.Links))
+	for i := range s.Links {
+		linkNames[i] = fmt.Sprintf("l%d", i)
+	}
+	flows := make([]exp.FlowSpec, len(s.Flows))
+	for i, f := range s.Flows {
+		paths := make([][]string, len(f.Paths))
+		for j, p := range f.Paths {
+			names := make([]string, len(p))
+			for k, li := range p {
+				names[k] = linkNames[li]
+			}
+			paths[j] = names
+		}
+		flows[i] = exp.FlowSpec{
+			Name:      FlowName(i),
+			Proto:     exp.Protocol(f.Proto),
+			Paths:     paths,
+			StartAt:   sim.FromSeconds(f.StartMs / 1000),
+			FileBytes: int64(f.FileKB) * 1024,
+		}
+	}
+	tweak := func(net *topo.Net) {
+		for i, ls := range s.Links {
+			l := net.Link(linkNames[i])
+			l.SetRate(ls.RateMbps * 1e6)
+			l.SetDelay(sim.FromSeconds(ls.DelayMs / 1000))
+			l.SetBuffer(ls.BufBytes)
+			l.SetLoss(ls.LossPct / 100)
+			l.SetJitter(sim.FromSeconds(ls.JitterMs / 1000))
+		}
+		fi := netem.NewFaultInjector(net.Eng)
+		for _, f := range s.Faults {
+			l := net.Link(linkNames[f.Link])
+			at := sim.FromSeconds(f.AtMs / 1000)
+			dur := sim.FromSeconds(f.DurMs / 1000)
+			switch f.Kind {
+			case FaultOutage:
+				fi.Outage(l, at, dur)
+			case FaultFlaps:
+				fi.Flaps(l, at, f.Cycles, dur, sim.FromSeconds(f.UpMs/1000))
+			case FaultBurst:
+				fi.BurstLoss(l, at, dur, geFromSeverity(f.Severity))
+			case FaultRate:
+				orig := l.Rate()
+				cut := f.RateMbps * 1e6
+				net.Eng.At(at, func() { l.SetRate(cut) })
+				net.Eng.At(at+dur, func() { l.SetRate(orig) })
+			}
+		}
+		if o != nil {
+			o.bindNet(net)
+		}
+	}
+	return exp.Spec{
+		Seed:     s.Seed,
+		Duration: s.Duration(),
+		Topo:     &topo.Topology{Name: "simtest", Links: linkNames},
+		Probes:   bus,
+		Tweak:    tweak,
+		Flows:    flows,
+	}
+}

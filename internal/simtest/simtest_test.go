@@ -1,0 +1,279 @@
+package simtest
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mpcc/internal/exp"
+)
+
+// scenarioBudget returns how many random scenarios the fuzzing tests sweep.
+// The default keeps tier-1 CI well under a minute; `make simtest` raises it
+// via SIMTEST_N.
+func scenarioBudget(t *testing.T, def int) int {
+	if s := os.Getenv("SIMTEST_N"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad SIMTEST_N=%q", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return def / 10
+	}
+	return def
+}
+
+// baseSeed offsets the scenario corpus; override to explore a fresh region
+// of the scenario space without touching code.
+func baseSeed(t *testing.T) int64 {
+	if s := os.Getenv("SIMTEST_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad SIMTEST_SEED=%q", s)
+		}
+		return n
+	}
+	return 1
+}
+
+// TestRandomScenarios is the main fuzz sweep: hundreds of generated
+// scenarios, each audited by the full invariant oracle. A failure shrinks
+// itself and prints a one-line repro command.
+func TestRandomScenarios(t *testing.T) {
+	n := scenarioBudget(t, 220)
+	base := baseSeed(t)
+	reports := make([]*Report, n)
+	exp.RunParallel(n, func(i int) {
+		reports[i] = Check(FromSeed(base + int64(i)))
+	})
+	failures := 0
+	for _, r := range reports {
+		if !r.Failed() {
+			continue
+		}
+		failures++
+		if failures > 3 {
+			t.Errorf("…and more failures; stopping the detail at 3")
+			break
+		}
+		reportFailure(t, r, Options{})
+	}
+	if failures == 0 {
+		t.Logf("audited %d scenarios, 0 violations", n)
+	}
+}
+
+// reportFailure shrinks a failing report and logs the minimal reproducer.
+func reportFailure(t *testing.T, r *Report, opts Options) {
+	t.Helper()
+	target := r.Invariants()[0]
+	sh := Shrink(r.Scenario, target, opts)
+	t.Errorf("scenario seed %d violates %q:\n  %s\noriginal: %s\nshrunk (%d steps, %d checks): %s\nrepro: %s",
+		r.Scenario.Seed, target, formatViolations(r.Violations),
+		r.Scenario, sh.Steps, sh.Checks, sh.Scenario, sh.Scenario.ReproCommand())
+}
+
+func formatViolations(vs []Violation) string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	return strings.Join(out, "\n  ")
+}
+
+// TestInjectedViolationIsCaught proves the oracle and shrinker work end to
+// end: lowering the oracle's buffer bound below real queue occupancy must be
+// detected, shrink to something no bigger, and produce a deterministic repro
+// command that still fails.
+func TestInjectedViolationIsCaught(t *testing.T) {
+	// A bulk MPCC flow on one modest link fills the drop-tail queue, so an
+	// oracle bound of a single packet is guaranteed to be exceeded.
+	sc := Scenario{
+		Seed:       42,
+		DurationMs: 1500,
+		Links: []LinkSpec{
+			{RateMbps: 8, DelayMs: 10, BufBytes: 30000},
+			{RateMbps: 8, DelayMs: 10, BufBytes: 30000},
+		},
+		Flows: []FlowSpec{
+			{Proto: string(exp.MPCCLoss), Paths: [][]int{{0}, {1}}},
+			{Proto: string(exp.Cubic), Paths: [][]int{{1}}},
+		},
+		Faults: []FaultSpec{{Kind: FaultOutage, Link: 1, AtMs: 400, DurMs: 150}},
+	}
+	opts := Options{BufferBound: map[string]int{"l0": 1500}}
+
+	if clean := Check(sc); clean.Failed() {
+		t.Fatalf("scenario must pass without the injected bound, got:\n  %s",
+			formatViolations(clean.Violations))
+	}
+	r := CheckOpts(sc, opts)
+	if !r.Has(InvQueueBound) {
+		t.Fatalf("injected bound of 1500 B not caught; violations:\n  %s",
+			formatViolations(r.Violations))
+	}
+
+	sh := Shrink(sc, InvQueueBound, opts)
+	if !sh.Report.Has(InvQueueBound) {
+		t.Fatalf("shrunk scenario no longer violates %s: %s", InvQueueBound, sh.Scenario)
+	}
+	if sh.Steps == 0 {
+		t.Errorf("shrinker accepted no reduction from %s", sc)
+	}
+	if got, orig := scenarioSize(sh.Scenario), scenarioSize(sc); got >= orig {
+		t.Errorf("shrunk scenario not smaller: %d parts vs %d (%s)", got, orig, sh.Scenario)
+	}
+	// The repro command must replay to the same failure: parse the embedded
+	// JSON back out and re-run it.
+	cmd := sh.Scenario.ReproCommand()
+	payload := strings.TrimPrefix(cmd, "SIMTEST_SCENARIO='")
+	payload = payload[:strings.Index(payload, "'")]
+	parsed, err := ParseScenario(payload)
+	if err != nil {
+		t.Fatalf("repro payload does not parse: %v\n%s", err, cmd)
+	}
+	if !CheckOpts(parsed, opts).Has(InvQueueBound) {
+		t.Fatalf("repro payload does not reproduce the violation: %s", cmd)
+	}
+	t.Logf("caught, shrunk %d→%d parts in %d checks; repro: %s",
+		scenarioSize(sc), scenarioSize(sh.Scenario), sh.Checks, cmd)
+}
+
+// scenarioSize counts a scenario's moving parts (links, flows, subflow
+// paths, faults) — the quantity the shrinker minimizes.
+func scenarioSize(sc Scenario) int {
+	n := len(sc.Links) + len(sc.Faults)
+	for _, f := range sc.Flows {
+		n += 1 + len(f.Paths)
+	}
+	return n
+}
+
+// TestTraceDeterminism asserts the replay gate: the same scenario always
+// produces a byte-identical probe trace (equal SHA-256, equal event count).
+func TestTraceDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		r := CheckDeterminism(FromSeed(seed))
+		if r.Has(InvTraceDetermin) {
+			t.Errorf("seed %d: %s", seed, formatViolations(r.Violations))
+		}
+		if r.Events == 0 {
+			t.Errorf("seed %d: empty trace", seed)
+		}
+	}
+}
+
+// TestParallelIdentity asserts the other replay gate: auditing scenarios
+// under exp.RunParallel is indistinguishable from auditing them one at a
+// time.
+func TestParallelIdentity(t *testing.T) {
+	scs := make([]Scenario, 8)
+	for i := range scs {
+		scs[i] = FromSeed(100 + int64(i))
+	}
+	for _, workers := range []int{2, 4} {
+		for _, v := range ParallelIdentity(scs, workers) {
+			t.Error(v)
+		}
+	}
+}
+
+// TestReproScenario replays the scenario in $SIMTEST_SCENARIO — the target
+// of Scenario.ReproCommand. Without the variable it only checks that the
+// hook exists.
+func TestReproScenario(t *testing.T) {
+	payload := os.Getenv("SIMTEST_SCENARIO")
+	if payload == "" {
+		t.Skip("set SIMTEST_SCENARIO to a scenario JSON to replay it")
+	}
+	sc, err := ParseScenario(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Check(sc)
+	t.Logf("replayed %s\ntrace %s (%d events)", sc, r.TraceHash, r.Events)
+	if r.Failed() {
+		t.Errorf("violations:\n  %s", formatViolations(r.Violations))
+	}
+}
+
+// TestGeneratorDeterminism pins FromSeed: the corpus must not drift under
+// refactors, or every seed-addressed repro in a bug report goes stale.
+func TestGeneratorDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a, b := FromSeed(seed), FromSeed(seed)
+		if a.JSON() != b.JSON() {
+			t.Fatalf("seed %d generated two different scenarios", seed)
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("seed %d generates an invalid scenario: %v", seed, err)
+		}
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := FromSeed(7)
+	parsed, err := ParseScenario(sc.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.JSON() != sc.JSON() {
+		t.Fatalf("round trip changed the scenario:\n%s\n%s", sc.JSON(), parsed.JSON())
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	ok := FromSeed(3)
+	cases := map[string]func(s *Scenario){
+		"no links":      func(s *Scenario) { s.Links = nil },
+		"no flows":      func(s *Scenario) { s.Flows = nil },
+		"bad link ref":  func(s *Scenario) { s.Flows[0].Paths[0][0] = 99 },
+		"bad fault ref": func(s *Scenario) { s.Faults = []FaultSpec{{Kind: FaultOutage, Link: -1}} },
+		"zero duration": func(s *Scenario) { s.DurationMs = 0 },
+		"zero rate":     func(s *Scenario) { s.Links[0].RateMbps = 0 },
+	}
+	for name, mutate := range cases {
+		s := clone(ok)
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %s", name, s)
+		}
+	}
+}
+
+// TestDropLinkRemap pins the index remapping of the shrinker's link-removal
+// candidate.
+func TestDropLinkRemap(t *testing.T) {
+	sc := Scenario{
+		Seed:       1,
+		DurationMs: 1000,
+		Links:      []LinkSpec{{RateMbps: 5, DelayMs: 5, BufBytes: 9000}, {RateMbps: 6, DelayMs: 6, BufBytes: 9000}, {RateMbps: 7, DelayMs: 7, BufBytes: 9000}},
+		Flows:      []FlowSpec{{Proto: string(exp.Reno), Paths: [][]int{{0}, {2}}}},
+		Faults: []FaultSpec{
+			{Kind: FaultOutage, Link: 1, AtMs: 100, DurMs: 50},
+			{Kind: FaultOutage, Link: 2, AtMs: 200, DurMs: 50},
+		},
+	}
+	c, okDrop := dropLink(sc, 1)
+	if !okDrop {
+		t.Fatal("link 1 is unused but was not dropped")
+	}
+	if len(c.Links) != 2 || c.Links[1].RateMbps != 7 {
+		t.Fatalf("links not remapped: %+v", c.Links)
+	}
+	if got := c.Flows[0].Paths[1][0]; got != 1 {
+		t.Fatalf("path index not remapped: got %d, want 1", got)
+	}
+	if len(c.Faults) != 1 || c.Faults[0].Link != 1 {
+		t.Fatalf("faults not remapped: %+v", c.Faults)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, okDrop = dropLink(sc, 0); okDrop {
+		t.Fatal("link 0 is in use but was dropped")
+	}
+}

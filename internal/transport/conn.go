@@ -293,6 +293,19 @@ func (c *Connection) onArrival(off int64, size int) {
 // the application in order.
 func (c *Connection) InOrderBytes() int64 { return c.rcv.contiguous() }
 
+// ReceivedBytes returns the distinct stream bytes that have reached the
+// receiver (in-order prefix plus out-of-order buffered data). Every
+// acknowledged byte arrived first, so AckedBytes ≤ ReceivedBytes ≤
+// OfferedBytes at all times (checked by internal/simtest).
+func (c *Connection) ReceivedBytes() int64 { return c.rcv.contiguous() + c.rcv.buffered() }
+
+// OfferedBytes returns how much application stream data has been assigned to
+// subflows so far (the high-water stream offset).
+func (c *Connection) OfferedBytes() int64 { return c.nextOff }
+
+// MSS returns the connection's packet payload size.
+func (c *Connection) MSS() int { return c.mss }
+
 // Goodput returns the connection's first-delivery byte series.
 func (c *Connection) Goodput() *stats.Series { return c.goodput }
 

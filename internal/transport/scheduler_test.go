@@ -1,0 +1,224 @@
+package transport
+
+import (
+	"testing"
+
+	"mpcc/internal/cc"
+	"mpcc/internal/sim"
+)
+
+// fixedRate is a rate controller pinned to one pacing rate, so scheduler
+// tests control every input of the Pick decision directly.
+type fixedRate struct{ rate float64 }
+
+func (f fixedRate) InitialRate() float64                { return f.rate }
+func (f fixedRate) NextRate(now, srtt sim.Time) float64 { return f.rate }
+func (f fixedRate) OnMIComplete(cc.MIStats)             {}
+
+// fixedWin is a window controller pinned to one cwnd.
+type fixedWin struct{ w float64 }
+
+func (f fixedWin) InitialCwnd() float64                       { return f.w }
+func (f fixedWin) Cwnd() float64                              { return f.w }
+func (f fixedWin) OnAck(now, rtt sim.Time, ackedPkts float64) {}
+func (f fixedWin) OnLossEvent(sim.Time)                       {}
+func (f fixedWin) OnRTO(sim.Time)                             {}
+
+// subState is one subflow's inputs to a scheduler decision.
+type subState struct {
+	srtt     sim.Time
+	rateBps  float64 // >0: rate-based subflow at this pacing rate
+	cwndPkts float64 // used when rateBps == 0: window-based subflow
+	inflight int
+	pending  int
+	failed   bool
+}
+
+// rigConn builds a connection whose subflows are pinned to the given states.
+func rigConn(t *testing.T, states []subState) *Connection {
+	t.Helper()
+	tn := newTestNet(1, len(states))
+	c := NewConnection(tn.eng, "rig")
+	for i, st := range states {
+		var s *Subflow
+		if st.rateBps > 0 {
+			s = c.AddRateSubflow(tn.path(i), fixedRate{st.rateBps})
+			s.curRate = st.rateBps
+		} else {
+			s = c.AddWindowSubflow(tn.path(i), fixedWin{st.cwndPkts})
+		}
+		s.srtt = st.srtt
+		s.inflightPkts = st.inflight
+		s.pending = make([]*segment, st.pending)
+		if st.failed {
+			s.state = SubflowFailed
+		}
+	}
+	return c
+}
+
+func TestDefaultSchedulerPick(t *testing.T) {
+	ms := sim.Millisecond
+	cases := []struct {
+		name   string
+		states []subState
+		want   int // expected subflow id, -1 for nil
+	}{
+		{
+			name: "lowest RTT wins",
+			states: []subState{
+				{srtt: 30 * ms, rateBps: 10e6},
+				{srtt: 10 * ms, rateBps: 10e6},
+				{srtt: 20 * ms, rateBps: 10e6},
+			},
+			want: 1,
+		},
+		{
+			// §6's pathology: rate-based subflows have no effective window,
+			// so an arbitrarily deep pending backlog on the fastest subflow
+			// never diverts data to its siblings — the starvation the
+			// RateScheduler exists to fix.
+			name: "rate-based backlog starves siblings",
+			states: []subState{
+				{srtt: 10 * ms, rateBps: 10e6, pending: 10000, inflight: 500},
+				{srtt: 30 * ms, rateBps: 10e6},
+			},
+			want: 0,
+		},
+		{
+			name: "window-full subflow is skipped",
+			states: []subState{
+				{srtt: 10 * ms, cwndPkts: 10, inflight: 10},
+				{srtt: 30 * ms, cwndPkts: 10, inflight: 3},
+			},
+			want: 1,
+		},
+		{
+			name: "failed subflow is skipped",
+			states: []subState{
+				{srtt: 10 * ms, rateBps: 10e6, failed: true},
+				{srtt: 30 * ms, rateBps: 10e6},
+			},
+			want: 1,
+		},
+		{
+			name: "all subflows failed",
+			states: []subState{
+				{srtt: 10 * ms, rateBps: 10e6, failed: true},
+				{srtt: 30 * ms, rateBps: 10e6, failed: true},
+			},
+			want: -1,
+		},
+		{
+			name: "all windows full",
+			states: []subState{
+				{srtt: 10 * ms, cwndPkts: 4, inflight: 4},
+				{srtt: 30 * ms, cwndPkts: 4, inflight: 5},
+			},
+			want: -1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := rigConn(t, tc.states)
+			got := DefaultScheduler{}.Pick(c)
+			checkPick(t, got, tc.want)
+		})
+	}
+}
+
+func TestRateSchedulerPick(t *testing.T) {
+	ms := sim.Millisecond
+	// At 120 Mbps and 10 ms RTT with 1500 B packets, one RTT of data is 100
+	// packets, so the paper's 10% threshold caps the pending queue at 10.
+	const rate100 = 120e6
+	cases := []struct {
+		name   string
+		states []subState
+		want   int
+	}{
+		{
+			name: "lowest RTT among available",
+			states: []subState{
+				{srtt: 30 * ms, rateBps: rate100},
+				{srtt: 10 * ms, rateBps: rate100},
+			},
+			want: 1,
+		},
+		{
+			name: "at 10% backlog the subflow is unavailable",
+			states: []subState{
+				{srtt: 10 * ms, rateBps: rate100, pending: 10},
+				{srtt: 30 * ms, rateBps: rate100},
+			},
+			want: 1,
+		},
+		{
+			name: "just below the threshold it still takes data",
+			states: []subState{
+				{srtt: 10 * ms, rateBps: rate100, pending: 9},
+				{srtt: 30 * ms, rateBps: rate100},
+			},
+			want: 0,
+		},
+		{
+			// cap = max(1, ⌊threshold × rate × RTT⌋): a near-idle subflow
+			// still gets one segment, so slow paths make progress.
+			name: "queue cap floors at one packet",
+			states: []subState{
+				{srtt: 10 * ms, rateBps: 1e3},
+			},
+			want: 0,
+		},
+		{
+			name: "floored cap of one packet blocks at one pending",
+			states: []subState{
+				{srtt: 10 * ms, rateBps: 1e3, pending: 1},
+			},
+			want: -1,
+		},
+		{
+			name: "window-based subflow capped by threshold×cwnd",
+			states: []subState{
+				{srtt: 10 * ms, cwndPkts: 50, pending: 5},
+				{srtt: 30 * ms, cwndPkts: 50, pending: 4},
+			},
+			want: 1,
+		},
+		{
+			name: "all subflows failed",
+			states: []subState{
+				{srtt: 10 * ms, rateBps: rate100, failed: true},
+				{srtt: 30 * ms, rateBps: rate100, failed: true},
+			},
+			want: -1,
+		},
+		{
+			name: "every queue at threshold",
+			states: []subState{
+				{srtt: 10 * ms, rateBps: rate100, pending: 10},
+				{srtt: 10 * ms, rateBps: rate100, pending: 10},
+			},
+			want: -1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := rigConn(t, tc.states)
+			got := NewRateScheduler(0.10).Pick(c)
+			checkPick(t, got, tc.want)
+		})
+	}
+}
+
+func checkPick(t *testing.T, got *Subflow, want int) {
+	t.Helper()
+	switch {
+	case got == nil && want != -1:
+		t.Fatalf("Pick returned nil, want subflow %d", want)
+	case got != nil && want == -1:
+		t.Fatalf("Pick returned subflow %d, want nil", got.ID())
+	case got != nil && got.ID() != want:
+		t.Fatalf("Pick returned subflow %d, want %d", got.ID(), want)
+	}
+}

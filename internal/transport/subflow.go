@@ -88,6 +88,7 @@ type Subflow struct {
 	// metrics
 	goodput        *stats.Series // first-delivery bytes, bucketed
 	deliveredBytes int64
+	sentBytes      int64
 	sentPkts       uint64
 	lostPkts       uint64
 	retxPkts       uint64
@@ -129,6 +130,12 @@ func (s *Subflow) Goodput() *stats.Series { return s.goodput }
 
 // DeliveredBytes returns total first-delivery bytes.
 func (s *Subflow) DeliveredBytes() int64 { return s.deliveredBytes }
+
+// SentBytes returns total bytes put on the wire by this subflow, counting
+// every transmission (retransmissions included). Since a segment can only be
+// acknowledged on a subflow that transmitted it, DeliveredBytes ≤ SentBytes
+// is a conservation invariant (checked by internal/simtest).
+func (s *Subflow) SentBytes() int64 { return s.sentBytes }
 
 // LostPkts returns the number of packets declared lost.
 func (s *Subflow) LostPkts() uint64 { return s.lostPkts }
@@ -370,6 +377,7 @@ func (s *Subflow) transmit(seg *segment) {
 	rec := &pktRec{sf: s, seg: seg, idx: s.sendIdx, size: seg.size, sentAt: now}
 	s.sendIdx++
 	s.sentPkts++
+	s.sentBytes += int64(seg.size)
 	s.inflightBytes += seg.size
 	s.inflightPkts++
 	s.outstanding = append(s.outstanding, rec)
