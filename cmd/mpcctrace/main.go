@@ -15,7 +15,10 @@
 //
 // summary replays events through the same metrics registry the live run
 // used (exp.Result.Obs), so its counters and histogram percentiles match
-// the in-run snapshot exactly. filter re-emits matching events as JSONL,
+// the in-run snapshot exactly; runs that saw path impairments or loss-
+// detection activity additionally get a "hostile path" breakdown of drops
+// vs reorders vs duplicates vs spurious retransmits.
+// filter re-emits matching events as JSONL,
 // preserving the stable field order. csv converts events to the aligned
 // time-series CSV of internal/trace for plotting: event-count kinds
 // (drop, retransmit, sched-pick) aggregate as bytes per bucket, level
@@ -169,9 +172,34 @@ func cmdSummary(args []string, stdin io.Reader, stdout io.Writer) error {
 			fmt.Fprintf(stdout, " end=%v", a.endAt)
 		}
 		fmt.Fprintf(stdout, " events=%d\n", a.events)
-		printSnapshot(stdout, a.reg.Snapshot())
+		snap := a.reg.Snapshot()
+		printHostile(stdout, snap)
+		printSnapshot(stdout, snap)
 	}
 	return nil
+}
+
+// printHostile renders the hostile-path breakdown: what the network did to
+// the packets (drops vs reorders vs duplicates vs ACK compression) against
+// what the loss detector concluded (RACK marks, retransmits later proven
+// spurious). Omitted entirely when the run saw none of it.
+func printHostile(w io.Writer, s *obs.Snapshot) {
+	reo := s.Counters["reorders"]
+	dup := s.Counters["duplicates"]
+	ackc := s.Counters["ack_compressions"]
+	rack := s.Counters["rack_marks"]
+	spur := s.Counters["spurious_retx"]
+	if reo+dup+ackc+rack+spur == 0 {
+		return
+	}
+	fmt.Fprintln(w, "hostile path:")
+	fmt.Fprintf(w, "  link: drops=%g reorders=%g duplicates=%g ack-compressions=%g\n",
+		s.Counters["drops.total"], reo, dup, ackc)
+	line := fmt.Sprintf("  loss signal: rack-marks=%g spurious-retx=%g", rack, spur)
+	if retx := s.Counters["retransmits"]; retx > 0 {
+		line += fmt.Sprintf(" (%.1f%% of %g retransmits wasted)", 100*spur/retx, retx)
+	}
+	fmt.Fprintln(w, line)
 }
 
 func printSnapshot(w io.Writer, s *obs.Snapshot) {

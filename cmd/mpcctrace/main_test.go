@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"mpcc/internal/exp"
+	"mpcc/internal/netem"
 	"mpcc/internal/obs"
 	"mpcc/internal/sim"
 	"mpcc/internal/topo"
@@ -81,6 +82,43 @@ func TestSummaryAllRuns(t *testing.T) {
 	}
 	if len(snaps) != 2 {
 		t.Fatalf("expected 2 snapshots, got %d", len(snaps))
+	}
+}
+
+// TestSummaryHostilePathBreakdown traces a run over reordering links with a
+// compressed ACK channel and checks summary surfaces the hostile-path
+// breakdown section.
+func TestSummaryHostilePathBreakdown(t *testing.T) {
+	var buf bytes.Buffer
+	jw := obs.NewJSONLWriter(&buf)
+	exp.Run(exp.Spec{
+		Seed: 7, Duration: 2 * sim.Second, Warmup: sim.Second,
+		Topo: topo.Fig3b(), Probes: obs.NewBus(jw),
+		Tweak: func(n *topo.Net) {
+			for _, name := range n.LinkNames() {
+				n.Link(name).SetReorder(&netem.Reorder{Prob: 0.2, MaxEarly: 10 * sim.Millisecond})
+			}
+		},
+		Flows: []exp.FlowSpec{{
+			Name: "mp", Proto: exp.MPCCLoss,
+			Paths:     [][]string{{"link1"}, {"link2"}},
+			PathTweak: func(p *netem.Path) { p.SetAckCompression(2 * sim.Millisecond) },
+		}},
+	})
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runTool(t, []string{"summary"}, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"hostile path:", "reorders=", "ack-compressions=", "spurious-retx="} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("impaired summary missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "reorders=0 ") {
+		t.Errorf("impaired run recorded zero reorders:\n%s", out)
 	}
 }
 

@@ -84,6 +84,17 @@ type WindowController interface {
 	OnRTO(now sim.Time)
 }
 
+// SpuriousRepairer is an optional WindowController extension (Eifel undo,
+// after RFC 3522/4015): when the transport proves a loss declaration
+// spurious — the "lost" packet's own acknowledgement arrives after the
+// congestion reaction — it calls OnSpuriousLoss so the controller can
+// restore the state it saved before the multiplicative decrease. wasRTO
+// distinguishes an undone timeout collapse from an undone fast-retransmit
+// halving. Controllers without saved state simply omit the interface.
+type SpuriousRepairer interface {
+	OnSpuriousLoss(now sim.Time, wasRTO bool)
+}
+
 // ProbeSetter is implemented by controllers that emit observability events
 // (MI decisions, utility samples) into a probe bus. flow names the
 // connection the controller belongs to, so events from concurrent

@@ -16,6 +16,11 @@ type Controller struct {
 	ssthresh float64
 	minCwnd  float64
 	maxCwnd  float64
+
+	// State saved at the last loss reaction, restored by OnSpuriousLoss
+	// (Eifel undo). Zero means nothing to undo.
+	undoCwnd     float64
+	undoSsthresh float64
 }
 
 // Option configures a Controller.
@@ -62,6 +67,7 @@ func (c *Controller) OnAck(now, rtt sim.Time, ackedPkts float64) {
 
 // OnLossEvent implements cc.WindowController: halve, once per loss episode.
 func (c *Controller) OnLossEvent(now sim.Time) {
+	c.undoCwnd, c.undoSsthresh = c.cwnd, c.ssthresh
 	c.ssthresh = c.cwnd / 2
 	if c.ssthresh < c.minCwnd {
 		c.ssthresh = c.minCwnd
@@ -71,9 +77,26 @@ func (c *Controller) OnLossEvent(now sim.Time) {
 
 // OnRTO implements cc.WindowController: collapse to one packet.
 func (c *Controller) OnRTO(now sim.Time) {
+	c.undoCwnd, c.undoSsthresh = c.cwnd, c.ssthresh
 	c.ssthresh = c.cwnd / 2
 	if c.ssthresh < c.minCwnd {
 		c.ssthresh = c.minCwnd
 	}
 	c.cwnd = 1
+}
+
+// OnSpuriousLoss implements cc.SpuriousRepairer: restore the window and
+// ssthresh saved before the last loss reaction, once, and only upward —
+// growth earned since the (wrong) reaction is never taken back.
+func (c *Controller) OnSpuriousLoss(now sim.Time, wasRTO bool) {
+	if c.undoCwnd == 0 {
+		return
+	}
+	if c.cwnd < c.undoCwnd {
+		c.cwnd = c.undoCwnd
+	}
+	if c.ssthresh < c.undoSsthresh {
+		c.ssthresh = c.undoSsthresh
+	}
+	c.undoCwnd, c.undoSsthresh = 0, 0
 }

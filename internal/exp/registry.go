@@ -102,6 +102,9 @@ func Registry() []Experiment {
 		{"faults", "robustness: mid-run link outage on topology 3c — failure detection, migration, probing revival", func(cfg Config) []*Table {
 			return []*Table{FaultRecovery(cfg)}
 		}},
+		{"reorder", "robustness: goodput and loss-signal integrity across reordering intensities", func(cfg Config) []*Table {
+			return Reorder(cfg)
+		}},
 		{"web", "extension: web-like short flows over busy links (§9)", func(cfg Config) []*Table {
 			return []*Table{WebWorkload(cfg)}
 		}},

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"testing"
+
+	"mpcc/internal/sim"
+	"mpcc/internal/topo"
+	"mpcc/internal/transport"
+)
+
+// reorderCleanSpec is the acceptance rig: one MPCC-loss multipath flow moving
+// a fixed file, receive-window capped below one link's BDP so no drop-tail
+// queue can ever overflow — the run is provably lossless and every loss
+// declaration must be spurious.
+func reorderCleanSpec(prob float64) Spec {
+	opts := []transport.ConnOption{transport.WithRcvBuf(250 * transport.DefaultMSS)}
+	return Spec{
+		Seed: 11, Duration: 10 * sim.Second,
+		Topo:  topo.Fig3b(),
+		Tweak: reorderTweak(prob),
+		Flows: []FlowSpec{{
+			Name: "mp", Proto: MPCCLoss,
+			Paths:     [][]string{{"link1"}, {"link2"}},
+			FileBytes: 20 << 20,
+			Attach:    AttachOptions{ConnOptions: opts},
+		}},
+	}
+}
+
+// TestReorderOnlyLossSignalStaysZero pins the tentpole's acceptance criteria
+// at the experiment level: under reordering-only impairment MPCC's measured
+// loss input (corrected loss) stays exactly zero and the transfer finishes
+// within 10% of the unimpaired time.
+func TestReorderOnlyLossSignalStaysZero(t *testing.T) {
+	base := Run(reorderCleanSpec(0))
+	imp := Run(reorderCleanSpec(0.25))
+	baseFCT, impFCT := base.Flows["mp"].FCT, imp.Flows["mp"].FCT
+	if baseFCT <= 0 || impFCT <= 0 {
+		t.Fatalf("transfer incomplete: base FCT %v, impaired FCT %v", baseFCT, impFCT)
+	}
+
+	var reordered, drops uint64
+	for _, name := range imp.Net.LinkNames() {
+		st := imp.Net.Link(name).Stats()
+		reordered += st.Reordered
+		drops += st.DropsQueueFull + st.DropsRandom + st.DropsOutage + st.DropsBurst
+	}
+	if reordered == 0 {
+		t.Fatal("links reordered nothing; the rig is not testing reordering")
+	}
+	if drops != 0 {
+		t.Fatalf("rig not lossless: %d drops — the zero-corrected-loss claim is untestable here", drops)
+	}
+
+	var declared, spurious, corrected uint64
+	for _, sf := range imp.Conns["mp"].Subflows() {
+		declared += sf.LostPkts()
+		spurious += sf.SpuriousPkts()
+		corrected += sf.CorrectedLostPkts()
+	}
+	if corrected != 0 {
+		t.Fatalf("corrected loss = %d under reordering-only impairment, want 0 (declared %d, spurious %d)",
+			corrected, declared, spurious)
+	}
+	if impFCT > baseFCT+baseFCT/10 {
+		t.Fatalf("impaired FCT %v more than 10%% over unimpaired %v", impFCT, baseFCT)
+	}
+	t.Logf("reordered %d packets; declared %d, all repaired; FCT %v vs %v unimpaired",
+		reordered, declared, impFCT, baseFCT)
+}

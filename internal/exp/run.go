@@ -19,6 +19,10 @@ type FlowSpec struct {
 	StartAt   sim.Time
 	FileBytes int64 // 0 = bulk
 	Attach    AttachOptions
+	// PathTweak, if set, adjusts each freshly built path of this flow before
+	// the connection attaches — the hook for ACK-path impairments (ack delay,
+	// jitter, compression), which live on the Path rather than on links.
+	PathTweak func(p *netem.Path)
 }
 
 // Spec declares one simulation run.
@@ -143,6 +147,14 @@ func Run(s Spec) *Result {
 	conns := make(map[string]*transport.Connection, len(flows))
 	for _, f := range flows {
 		ps := buildPaths(net, f.Paths)
+		for _, p := range ps {
+			if bus != nil {
+				p.SetProbes(bus)
+			}
+			if f.PathTweak != nil {
+				f.PathTweak(p)
+			}
+		}
 		at := f.Attach
 		if at.Probes == nil {
 			at.Probes = bus

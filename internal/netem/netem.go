@@ -41,6 +41,7 @@ type Packet struct {
 	onDrop   func(*Packet, DropReason)
 	owner    *Path    // pool to return to at the terminal event
 	arriveAt sim.Time // propagation arrival at the current link's far end
+	dup      bool     // link-created duplicate; never duplicated again
 }
 
 // Sink consumes packets at the end of a path.
@@ -89,6 +90,11 @@ type LinkStats struct {
 	DropsRandom     uint64
 	DropsOutage     uint64
 	DropsBurst      uint64
+	// Reordered counts packets dispatched early past the in-order guard;
+	// Duplicated counts link-created packet copies (the copies themselves
+	// also appear in EnqueuedPackets/EnqueuedBytes).
+	Reordered  uint64
+	Duplicated uint64
 	// Outages counts up→down transitions (SetDown(true) while up, including
 	// each down phase of a flap sequence).
 	Outages uint64
@@ -113,6 +119,13 @@ type Link struct {
 	ge    GilbertElliott // burst-loss parameters (zero value = disabled)
 	geOn  bool
 	geBad bool // current Gilbert–Elliott state
+
+	reorder       Reorder // deliberate-reordering parameters
+	reorderOn     bool
+	reorderPrev   float64 // previous correlated decision value
+	reorderGapCnt int     // packets since the last gap-forced reorder
+
+	dupProb float64 // per-packet duplication probability in [0,1]
 
 	lastArrival sim.Time // monotonic delivery guard under jitter
 
@@ -158,6 +171,12 @@ func (l *Link) SetRate(rateBps float64) {
 // their scheduled departures, like SetRate. Each up→down transition counts
 // one outage in Stats.
 func (l *Link) SetDown(down bool) {
+	if down != l.down {
+		// The in-order delivery guard must not carry across an outage
+		// boundary: a stale jittered arrival time from before the outage
+		// would otherwise stretch post-revival delays arbitrarily.
+		l.lastArrival = 0
+	}
 	if down && !l.down {
 		l.stats.Outages++
 	}
@@ -226,6 +245,85 @@ func (l *Link) SetJitter(d sim.Time) {
 // Jitter returns the maximum extra per-packet delay.
 func (l *Link) Jitter() sim.Time { return l.jitter }
 
+// Reorder parameterizes netem-style deliberate packet reordering. A selected
+// packet is dispatched early: it skips a uniform [1, cap] share of its
+// propagation delay and bypasses the link's in-order delivery guard, so it
+// can overtake packets still in flight (and does not move the guard itself,
+// leaving later packets unaffected). Selection follows netem's model: every
+// Gap-th packet (when Gap > 0) plus an independent per-packet probability
+// Prob whose consecutive draws are correlated by Corr.
+type Reorder struct {
+	Prob     float64  // per-packet early-dispatch probability in [0,1]
+	Corr     float64  // correlation of consecutive probability draws in [0,1]
+	Gap      int      // every Gap-th packet reorders deterministically (0 = off)
+	MaxEarly sim.Time // cap on the skipped propagation delay (0 = full delay)
+}
+
+// valid reports whether the parameters are in range.
+func (r Reorder) valid() bool {
+	return r.Prob >= 0 && r.Prob <= 1 && r.Corr >= 0 && r.Corr <= 1 &&
+		r.Gap >= 0 && r.MaxEarly >= 0
+}
+
+// SetReorder enables deliberate reordering with the given parameters.
+// Passing nil disables it and resets the decision state.
+func (l *Link) SetReorder(r *Reorder) {
+	if r == nil {
+		l.reorderOn = false
+		l.reorder = Reorder{}
+		l.reorderPrev, l.reorderGapCnt = 0, 0
+		return
+	}
+	if !r.valid() {
+		panic("netem: reorder parameters out of range")
+	}
+	l.reorder = *r
+	l.reorderOn = true
+}
+
+// ReorderSpec returns the current reorder parameters and whether reordering
+// is enabled.
+func (l *Link) ReorderSpec() (Reorder, bool) { return l.reorder, l.reorderOn }
+
+// reorderDecide makes the per-packet reorder decision: a deterministic
+// every-Gap-th trigger first (consuming no randomness), then the correlated
+// probability draw, matching netem's reorder selection.
+func (l *Link) reorderDecide() bool {
+	r := &l.reorder
+	if r.Gap > 0 {
+		l.reorderGapCnt++
+		if l.reorderGapCnt >= r.Gap {
+			l.reorderGapCnt = 0
+			return true
+		}
+	}
+	if r.Prob <= 0 {
+		return false
+	}
+	v := l.eng.Rand().Float64()
+	if r.Corr > 0 {
+		v = r.Corr*l.reorderPrev + (1-r.Corr)*v
+	}
+	l.reorderPrev = v
+	return v < r.Prob
+}
+
+// SetDuplicate sets the per-packet duplication probability: a selected packet
+// is cloned after the enqueue decision and the clone re-admitted right behind
+// the original (it is subject to loss and drop-tail admission independently,
+// but is never duplicated again). The clone carries the same Meta, so
+// receivers observe a genuine duplicate delivery; its drops are invisible to
+// the sender's loss accounting, as a copy the sender never sent should be.
+func (l *Link) SetDuplicate(p float64) {
+	if p < 0 || p > 1 {
+		panic("netem: duplicate probability out of range")
+	}
+	l.dupProb = p
+}
+
+// DuplicateProb returns the per-packet duplication probability.
+func (l *Link) DuplicateProb() float64 { return l.dupProb }
+
 // SetLoss changes the i.i.d. random drop probability.
 func (l *Link) SetLoss(p float64) {
 	if p < 0 || p > 1 {
@@ -279,6 +377,24 @@ func (l *Link) BDPBytes() int {
 // semantics, and schedules its serialization and propagation.
 func (l *Link) enqueue(pkt *Packet) {
 	now := l.eng.Now()
+	if l.dupProb > 0 && !pkt.dup && pkt.owner != nil &&
+		l.eng.Rand().Float64() < l.dupProb {
+		// Clone the packet and re-admit the copy right behind the original
+		// (deferred so the original claims queue space first). The clone
+		// shares Meta — the transport must dedup — but carries no onDrop:
+		// losing a copy the sender never sent is not a loss signal.
+		clone := pkt.owner.acquire()
+		clone.Size = pkt.Size
+		clone.SentAt = pkt.SentAt
+		clone.Meta = pkt.Meta
+		clone.hops = pkt.hops
+		clone.hop = pkt.hop
+		clone.sink = pkt.sink
+		clone.dup = true
+		l.stats.Duplicated++
+		l.probes.Duplicate(now, l.Name, clone.Size)
+		defer l.enqueue(clone)
+	}
 	if l.down || l.rateBps <= 0 {
 		// Outage (or zero-rate stall): the packet can never serialize.
 		l.stats.DropsOutage++
@@ -349,10 +465,24 @@ func (l *Link) enqueue(pkt *Packet) {
 	// predecessor state here as it would at done-time, and delay/jitter were
 	// always sampled at enqueue. Precomputing lets both events run closure-free.
 	arrive := done + delay
-	if arrive <= l.lastArrival {
-		arrive = l.lastArrival + 1 // keep deliveries in order under jitter
+	if l.reorderOn && delay > 0 && l.reorderDecide() {
+		// Early dispatch: skip a uniform share of the propagation delay and
+		// bypass the in-order guard (without moving it), so this packet can
+		// overtake in-flight predecessors while successors are unaffected.
+		maxSkip := delay
+		if l.reorder.MaxEarly > 0 && l.reorder.MaxEarly < maxSkip {
+			maxSkip = l.reorder.MaxEarly
+		}
+		early := sim.Time(l.eng.Rand().Int63n(int64(maxSkip))) + 1
+		arrive = done + delay - early
+		l.stats.Reordered++
+		l.probes.Reorder(now, l.Name, pkt.Size, early)
+	} else {
+		if arrive <= l.lastArrival {
+			arrive = l.lastArrival + 1 // keep deliveries in order under jitter
+		}
+		l.lastArrival = arrive
 	}
-	l.lastArrival = arrive
 	pkt.arriveAt = arrive
 	l.eng.Schedule(done, linkDequeueEvent, pkt)
 }

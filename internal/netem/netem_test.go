@@ -360,6 +360,300 @@ func TestScheduleRates(t *testing.T) {
 	}
 }
 
+func TestReorderGapOvertakesInFlight(t *testing.T) {
+	e := sim.NewEngine(3)
+	// Long propagation relative to packet spacing so an early dispatch can
+	// overtake several in-flight predecessors.
+	l := NewLink(e, "l", 8*mbps, 50*sim.Millisecond, 1<<20)
+	l.SetReorder(&Reorder{Gap: 3})
+	var reorders []obs.Event
+	l.SetProbes(obs.NewBus(obs.SinkFunc(func(ev obs.Event) {
+		if ev.Kind == obs.KindReorder {
+			reorders = append(reorders, ev)
+		}
+	})))
+	p := NewPath(e, "p", l)
+	var order []int
+	sink := SinkFunc(func(pk *Packet) { order = append(order, pk.Meta.(int)) })
+	const n = 9
+	for i := 0; i < n; i++ {
+		p.Send(1000, i, sink, nil)
+	}
+	e.Run(0)
+	if len(order) != n {
+		t.Fatalf("delivered %d, want %d", len(order), n)
+	}
+	if got := l.Stats().Reordered; got != n/3 {
+		t.Fatalf("Reordered = %d, want %d", got, n/3)
+	}
+	if len(reorders) != n/3 {
+		t.Fatalf("got %d reorder events, want %d", len(reorders), n/3)
+	}
+	for _, ev := range reorders {
+		if ev.Link != "l" || ev.Bytes != 1000 || ev.Value <= 0 {
+			t.Errorf("reorder event %+v", ev)
+		}
+	}
+	inverted := false
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inverted = true
+		}
+	}
+	if !inverted {
+		t.Fatalf("no inversion in delivery order %v", order)
+	}
+}
+
+func TestReorderProbFrequency(t *testing.T) {
+	e := sim.NewEngine(11)
+	l := NewLink(e, "l", 1000*mbps, 20*sim.Millisecond, 1<<30)
+	l.SetReorder(&Reorder{Prob: 0.25, MaxEarly: 5 * sim.Millisecond})
+	p := NewPath(e, "p", l)
+	sink, got := collector()
+	const n = 4000
+	for i := 0; i < n; i++ {
+		p.Send(100, nil, sink, nil)
+	}
+	e.Run(0)
+	if len(*got) != n {
+		t.Fatalf("delivered %d, want %d (reordering must not drop)", len(*got), n)
+	}
+	rate := float64(l.Stats().Reordered) / n
+	if math.Abs(rate-0.25) > 0.03 {
+		t.Fatalf("reorder rate %.4f, want ≈0.25", rate)
+	}
+}
+
+func TestReorderDeterminism(t *testing.T) {
+	run := func() []int {
+		e := sim.NewEngine(7)
+		l := NewLink(e, "l", 8*mbps, 30*sim.Millisecond, 1<<20)
+		l.SetReorder(&Reorder{Prob: 0.5, Corr: 0.3, Gap: 5})
+		p := NewPath(e, "p", l)
+		var order []int
+		sink := SinkFunc(func(pk *Packet) { order = append(order, pk.Meta.(int)) })
+		for i := 0; i < 50; i++ {
+			p.Send(1000, i, sink, nil)
+		}
+		e.Run(0)
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery order diverges at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestLinkDuplication(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, "l", 8*mbps, 5*sim.Millisecond, 1<<20)
+	l.SetDuplicate(1)
+	dupEvents := 0
+	l.SetProbes(obs.NewBus(obs.SinkFunc(func(ev obs.Event) {
+		if ev.Kind == obs.KindDuplicate {
+			dupEvents++
+		}
+	})))
+	p := NewPath(e, "p", l)
+	counts := map[int]int{}
+	sink := SinkFunc(func(pk *Packet) { counts[pk.Meta.(int)]++ })
+	drops := 0
+	onDrop := func(*Packet, DropReason) { drops++ }
+	for i := 0; i < 3; i++ {
+		p.Send(1000, i, sink, onDrop)
+	}
+	e.Run(0)
+	for i := 0; i < 3; i++ {
+		if counts[i] != 2 {
+			t.Fatalf("meta %d delivered %d times, want 2 (counts %v)", i, counts[i], counts)
+		}
+	}
+	if got := l.Stats().Duplicated; got != 3 {
+		t.Fatalf("Duplicated = %d, want 3", got)
+	}
+	if dupEvents != 3 {
+		t.Fatalf("got %d duplicate events, want 3", dupEvents)
+	}
+	if drops != 0 {
+		t.Fatalf("sender saw %d drops, want 0", drops)
+	}
+	if l.Stats().EnqueuedPackets != 6 {
+		t.Fatalf("EnqueuedPackets = %d, want 6 (copies count)", l.Stats().EnqueuedPackets)
+	}
+}
+
+func TestDuplicateDropInvisibleToSender(t *testing.T) {
+	e := sim.NewEngine(1)
+	// Total loss: both the original and its copy drop, but the sender's
+	// onDrop must fire only for the original — a lost copy the sender never
+	// sent is not a loss signal.
+	l := NewLink(e, "l", 8*mbps, 0, 1<<20)
+	l.SetDuplicate(1)
+	l.SetLoss(1)
+	p := NewPath(e, "p", l)
+	sink, got := collector()
+	drops := 0
+	p.Send(1000, nil, sink, func(*Packet, DropReason) { drops++ })
+	e.Run(0)
+	if len(*got) != 0 {
+		t.Fatalf("delivered %d, want 0", len(*got))
+	}
+	if drops != 1 {
+		t.Fatalf("sender saw %d drops, want 1 (original only)", drops)
+	}
+	if l.Stats().DropsRandom != 2 {
+		t.Fatalf("DropsRandom = %d, want 2 (original + copy)", l.Stats().DropsRandom)
+	}
+	if l.Stats().Duplicated != 1 {
+		t.Fatalf("Duplicated = %d, want 1", l.Stats().Duplicated)
+	}
+}
+
+// Regression: reviving a link must reset the in-order delivery guard, or a
+// stale pre-outage arrival time stretches post-revival delays.
+func TestSetDownResetsArrivalGuard(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, "l", 8*mbps, 100*sim.Millisecond, 1<<20)
+	p := NewPath(e, "p", l)
+	var times []sim.Time
+	sink := SinkFunc(func(*Packet) { times = append(times, e.Now()) })
+	p.Send(1000, nil, sink, nil) // arrives at 101ms, guard = 101ms
+	e.At(10*sim.Millisecond, func() { l.SetDown(true) })
+	e.At(20*sim.Millisecond, func() {
+		l.SetDown(false)
+		l.SetDelay(sim.Millisecond)
+	})
+	e.At(30*sim.Millisecond, func() { p.Send(1000, nil, sink, nil) })
+	e.Run(0)
+	if len(times) != 2 {
+		t.Fatalf("delivered %d, want 2", len(times))
+	}
+	// The post-revival packet (30ms send + 1ms tx + 1ms prop = 32ms) arrives
+	// ahead of the slow pre-outage one; without the reset the guard would
+	// hold it until just past the first packet's 101ms arrival.
+	if want := 32 * sim.Millisecond; times[0] != want {
+		t.Fatalf("post-revival delivery at %v, want %v", times[0], want)
+	}
+	if want := 101 * sim.Millisecond; times[1] != want {
+		t.Fatalf("pre-outage delivery at %v, want %v", times[1], want)
+	}
+}
+
+func TestAckCompressionBatches(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, "l", 8*mbps, 10*sim.Millisecond, 1<<20)
+	p := NewPath(e, "p", l)
+	p.SetAckCompression(5 * sim.Millisecond)
+	compress := 0
+	p.SetProbes(obs.NewBus(obs.SinkFunc(func(ev obs.Event) {
+		if ev.Kind == obs.KindAckCompress {
+			compress++
+			if ev.Link != "p" || ev.Value <= 0 {
+				t.Errorf("ack-compress event %+v", ev)
+			}
+		}
+	})))
+	var times []sim.Time
+	sink := SinkFunc(func(*Packet) { times = append(times, e.Now()) })
+	for _, at := range []sim.Time{sim.Millisecond, 2 * sim.Millisecond, 3 * sim.Millisecond, 5 * sim.Millisecond} {
+		e.At(at, func() { p.SendFeedback("ack", sink) })
+	}
+	e.Run(0)
+	if len(times) != 4 {
+		t.Fatalf("delivered %d ACKs, want 4", len(times))
+	}
+	for i, at := range times {
+		// Natural arrivals 11, 12, 13ms defer to the 15ms boundary; the 5ms
+		// send lands exactly on it and is not deferred.
+		if at != 15*sim.Millisecond {
+			t.Fatalf("ACK %d at %v, want 15ms", i, at)
+		}
+	}
+	if compress != 3 {
+		t.Fatalf("got %d ack-compress events, want 3", compress)
+	}
+}
+
+func TestAckDelayAndJitter(t *testing.T) {
+	e := sim.NewEngine(5)
+	l := NewLink(e, "l", 8*mbps, 10*sim.Millisecond, 1<<20)
+	p := NewPath(e, "p", l)
+	p.SetAckDelay(5 * sim.Millisecond)
+	if p.ReverseDelay() != 10*sim.Millisecond {
+		t.Fatalf("ReverseDelay = %v, want 10ms (impairment must not leak in)", p.ReverseDelay())
+	}
+	var at sim.Time
+	p.SendFeedback("ack", SinkFunc(func(*Packet) { at = e.Now() }))
+	e.Run(0)
+	if at != 15*sim.Millisecond {
+		t.Fatalf("delayed ACK at %v, want 15ms", at)
+	}
+
+	p.SetAckDelay(0)
+	p.SetAckJitter(4 * sim.Millisecond)
+	var times []sim.Time
+	sink := SinkFunc(func(*Packet) { times = append(times, e.Now()) })
+	base := e.Now()
+	for i := 0; i < 50; i++ {
+		p.SendFeedback("ack", sink)
+	}
+	e.Run(0)
+	if len(times) != 50 {
+		t.Fatalf("delivered %d ACKs, want 50", len(times))
+	}
+	spread := false
+	for _, got := range times {
+		d := got - base - 10*sim.Millisecond
+		if d < 0 || d >= 4*sim.Millisecond {
+			t.Fatalf("ACK jitter %v outside [0, 4ms)", d)
+		}
+		if d != times[0]-base-10*sim.Millisecond {
+			spread = true
+		}
+	}
+	if !spread {
+		t.Fatal("jitter produced identical ACK delays")
+	}
+}
+
+func TestImpairmentParamValidation(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, "l", 8*mbps, 0, 0)
+	p := NewPath(e, "p", l)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("reorder prob", func() { l.SetReorder(&Reorder{Prob: 1.5}) })
+	mustPanic("reorder corr", func() { l.SetReorder(&Reorder{Corr: -0.1}) })
+	mustPanic("dup prob", func() { l.SetDuplicate(2) })
+	mustPanic("ack jitter", func() { p.SetAckJitter(-1) })
+	mustPanic("ack compress", func() { p.SetAckCompression(-1) })
+	mustPanic("ack delay", func() { p.SetAckDelay(-1) })
+	l.SetReorder(&Reorder{Prob: 0.5})
+	if r, on := l.ReorderSpec(); !on || r.Prob != 0.5 {
+		t.Fatalf("ReorderSpec = %+v, %v", r, on)
+	}
+	l.SetReorder(nil)
+	if _, on := l.ReorderSpec(); on {
+		t.Fatal("SetReorder(nil) did not disable")
+	}
+	l.SetDuplicate(0.25)
+	if l.DuplicateProb() != 0.25 {
+		t.Fatalf("DuplicateProb = %v", l.DuplicateProb())
+	}
+}
+
 func BenchmarkLinkForward(b *testing.B) {
 	e := sim.NewEngine(1)
 	l := NewLink(e, "l", 1e12, sim.Millisecond, 1<<30)

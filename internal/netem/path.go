@@ -1,6 +1,9 @@
 package netem
 
-import "mpcc/internal/sim"
+import (
+	"mpcc/internal/obs"
+	"mpcc/internal/sim"
+)
 
 // Path is a unidirectional route through an ordered set of links, ending at
 // a sink, plus a delay-only reverse channel for feedback. One transport
@@ -17,6 +20,19 @@ type Path struct {
 	// reverseDelay is the feedback (ACK) one-way delay. If zero it defaults
 	// to the sum of forward propagation delays plus extraDelay.
 	reverseDelay sim.Time
+
+	// ACK-path impairment knobs (all zero = the clean delay-only reverse
+	// channel). ackDelay is a fixed asymmetric reverse-path addition on top
+	// of ReverseDelay; ackJitter adds a uniform [0, ackJitter) per-feedback
+	// delay with no in-order guard, so ACKs may arrive out of order;
+	// ackCompress defers each feedback arrival to the next multiple of the
+	// slot width, so ACKs landing inside one slot arrive back to back (ACK
+	// compression/aggregation, as on half-duplex or cellular uplinks).
+	ackDelay    sim.Time
+	ackJitter   sim.Time
+	ackCompress sim.Time
+
+	probes *obs.Bus // nil when observability is disabled
 
 	// free recycles Packets: a path belongs to exactly one (single-threaded)
 	// engine, so a plain slice needs no locking — unlike a sync.Pool, which
@@ -55,6 +71,41 @@ func (p *Path) SetExtraDelay(d sim.Time) { p.extraDelay = d }
 // SetReverseDelay overrides the feedback delay; 0 restores the default
 // (the sum of forward propagation delays).
 func (p *Path) SetReverseDelay(d sim.Time) { p.reverseDelay = d }
+
+// SetAckDelay adds a fixed asymmetric reverse-path delay to every feedback
+// packet, on top of ReverseDelay. Unlike SetReverseDelay it models an
+// impairment, so it is not reflected in ReverseDelay/BaseRTT — estimators
+// observe it only through the ACKs themselves.
+func (p *Path) SetAckDelay(d sim.Time) {
+	if d < 0 {
+		panic("netem: negative ack delay")
+	}
+	p.ackDelay = d
+}
+
+// SetAckJitter adds a uniform [0, d) extra delay per feedback packet. There
+// is deliberately no in-order guard on the reverse channel: jittered ACKs
+// may overtake each other, as they do on impaired reverse paths.
+func (p *Path) SetAckJitter(d sim.Time) {
+	if d < 0 {
+		panic("netem: negative ack jitter")
+	}
+	p.ackJitter = d
+}
+
+// SetAckCompression batches feedback arrivals at d-spaced slot boundaries:
+// an ACK whose natural arrival falls strictly inside a slot is deferred to
+// the slot's end, so all ACKs of one slot arrive back to back. 0 disables.
+func (p *Path) SetAckCompression(d sim.Time) {
+	if d < 0 {
+		panic("netem: negative ack compression slot")
+	}
+	p.ackCompress = d
+}
+
+// SetProbes attaches an observability bus; the path emits an ack-compress
+// event for every deferred feedback packet. nil detaches.
+func (p *Path) SetProbes(b *obs.Bus) { p.probes = b }
 
 // Links returns the links composing the path.
 func (p *Path) Links() []*Link { return p.links }
@@ -123,7 +174,18 @@ func (p *Path) SendFeedback(meta any, sink Sink) {
 	pkt.SentAt = p.eng.Now()
 	pkt.Meta = meta
 	pkt.sink = sink
-	p.eng.Schedule(p.eng.Now()+p.ReverseDelay(), feedbackDeliverEvent, pkt)
+	at := p.eng.Now() + p.ReverseDelay() + p.ackDelay
+	if p.ackJitter > 0 {
+		at += sim.Time(p.eng.Rand().Int63n(int64(p.ackJitter)))
+	}
+	if p.ackCompress > 0 {
+		if rem := at % p.ackCompress; rem != 0 {
+			wait := p.ackCompress - rem
+			p.probes.AckCompress(p.eng.Now(), p.Name, wait)
+			at += wait
+		}
+	}
+	p.eng.Schedule(at, feedbackDeliverEvent, pkt)
 }
 
 // feedbackDeliverEvent fires when a feedback packet completes its delay-only

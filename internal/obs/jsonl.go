@@ -83,6 +83,11 @@ func (jw *JSONLWriter) Close() error {
 //	sched-pick:   t, kind, flow, sf, bytes
 //	run-start:    t, kind, seed, horizon_s
 //	run-end:      t, kind
+//	reorder:      t, kind, link, bytes, early_s
+//	duplicate:    t, kind, link, bytes
+//	ack-compress: t, kind, link, defer_s
+//	rack-mark:    t, kind, flow, sf, bytes, reo_wnd_s
+//	spurious-retx: t, kind, flow, sf, bytes, rto
 func AppendEvent(b []byte, e Event) []byte {
 	b = append(b, `{"t":`...)
 	b = strconv.AppendInt(b, int64(e.At), 10)
@@ -123,6 +128,24 @@ func AppendEvent(b []byte, e Event) []byte {
 		b = appendFloat(b, "horizon_s", e.Value)
 	case KindRunEnd:
 		// t and kind only.
+	case KindReorder:
+		b = appendStr(b, "link", e.Link)
+		b = appendInt(b, "bytes", e.Bytes)
+		b = appendFloat(b, "early_s", e.Value)
+	case KindDuplicate:
+		b = appendStr(b, "link", e.Link)
+		b = appendInt(b, "bytes", e.Bytes)
+	case KindAckCompress:
+		b = appendStr(b, "link", e.Link)
+		b = appendFloat(b, "defer_s", e.Value)
+	case KindRackMark:
+		b = appendFlowSF(b, e)
+		b = appendInt(b, "bytes", e.Bytes)
+		b = appendFloat(b, "reo_wnd_s", e.Value)
+	case KindSpuriousRetx:
+		b = appendFlowSF(b, e)
+		b = appendInt(b, "bytes", e.Bytes)
+		b = appendInt(b, "rto", int64(e.Aux))
 	}
 	return append(b, '}', '\n')
 }
@@ -186,6 +209,10 @@ type jsonEvent struct {
 	Consec   float64  `json:"consec"`
 	Seed     int64    `json:"seed"`
 	HorizonS float64  `json:"horizon_s"`
+	EarlyS   float64  `json:"early_s"`
+	DeferS   float64  `json:"defer_s"`
+	ReoWndS  float64  `json:"reo_wnd_s"`
+	RTOFlag  float64  `json:"rto"`
 }
 
 // ParseEvent decodes one JSONL trace line back into an Event.
@@ -225,6 +252,19 @@ func ParseEvent(line []byte) (Event, error) {
 	case KindRunStart:
 		e.Bytes = je.Seed
 		e.Value = je.HorizonS
+	case KindReorder:
+		e.Bytes = je.Bytes
+		e.Value = je.EarlyS
+	case KindDuplicate:
+		e.Bytes = je.Bytes
+	case KindAckCompress:
+		e.Value = je.DeferS
+	case KindRackMark:
+		e.Bytes = je.Bytes
+		e.Value = je.ReoWndS
+	case KindSpuriousRetx:
+		e.Bytes = je.Bytes
+		e.Aux = je.RTOFlag
 	}
 	return e, nil
 }

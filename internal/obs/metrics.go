@@ -25,6 +25,11 @@ type Registry struct {
 	downs, ups   *Counter
 	schedPicks   *Counter
 	rateChanges  *Counter
+	reorders     *Counter
+	duplicates   *Counter
+	ackCompress  *Counter
+	rackMarks    *Counter
+	spuriousRetx *Counter
 	miByPhase    map[string]*Counter
 	queueDepth   *Histogram
 	utility      *Histogram
@@ -50,6 +55,11 @@ func NewRegistry() *Registry {
 	r.ups = r.Counter("subflow_ups")
 	r.schedPicks = r.Counter("sched_picks")
 	r.rateChanges = r.Counter("rate_changes")
+	r.reorders = r.Counter("reorders")
+	r.duplicates = r.Counter("duplicates")
+	r.ackCompress = r.Counter("ack_compressions")
+	r.rackMarks = r.Counter("rack_marks")
+	r.spuriousRetx = r.Counter("spurious_retx")
 	r.queueDepth = r.Histogram("queue_depth_bytes")
 	r.utility = r.Histogram("utility")
 	return r
@@ -120,6 +130,16 @@ func (r *Registry) Record(e Event) {
 		r.schedPicks.Inc()
 	case KindRateChange:
 		r.rateChanges.Inc()
+	case KindReorder:
+		r.reorders.Inc()
+	case KindDuplicate:
+		r.duplicates.Inc()
+	case KindAckCompress:
+		r.ackCompress.Inc()
+	case KindRackMark:
+		r.rackMarks.Inc()
+	case KindSpuriousRetx:
+		r.spuriousRetx.Inc()
 	}
 }
 

@@ -67,6 +67,25 @@ const (
 	KindRunStart
 	// KindRunEnd marks the end of one simulation run.
 	KindRunEnd
+	// KindReorder is a link deliberately delivering a packet out of order
+	// (netem reordering impairment). Bytes is the packet size, Value how
+	// early the packet arrives relative to its in-order slot, in seconds.
+	KindReorder
+	// KindDuplicate is a link duplicating a packet (netem duplication
+	// impairment). Bytes is the duplicated packet's size.
+	KindDuplicate
+	// KindAckCompress is the ACK channel deferring a feedback packet into a
+	// compression slot (netem ACK-path impairment). Link carries the path
+	// name, Value the deferral in seconds.
+	KindAckCompress
+	// KindRackMark is RACK-style time-based loss detection declaring a
+	// packet lost. Bytes is the packet size, Value the reordering window in
+	// seconds at the time of the mark.
+	KindRackMark
+	// KindSpuriousRetx is Eifel-style detection proving an earlier loss
+	// declaration spurious: the original arrived after all. Bytes is the
+	// packet size, Aux 1 when the spurious mark came from an RTO.
+	KindSpuriousRetx
 
 	numKinds
 )
@@ -74,7 +93,8 @@ const (
 var kindNames = [numKinds]string{
 	"mi-decision", "utility", "rate-change", "drop", "queue-depth",
 	"retransmit", "rto-backoff", "subflow-down", "subflow-up", "sched-pick",
-	"run-start", "run-end",
+	"run-start", "run-end", "reorder", "duplicate", "ack-compress",
+	"rack-mark", "spurious-retx",
 }
 
 func (k Kind) String() string {
@@ -303,4 +323,53 @@ func (b *Bus) RunEnd(at sim.Time) {
 		return
 	}
 	b.Emit(Event{At: at, Kind: KindRunEnd, Subflow: -1})
+}
+
+// Reorder records a link deliberately delivering a packet early (out of
+// order): the packet arrives at its serialization-done time plus a reduced
+// delay instead of its in-order slot.
+func (b *Bus) Reorder(at sim.Time, link string, bytes int, early sim.Time) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindReorder, Link: link, Subflow: -1, Bytes: int64(bytes), Value: early.Seconds()})
+}
+
+// Duplicate records a link duplicating a packet.
+func (b *Bus) Duplicate(at sim.Time, link string, bytes int) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindDuplicate, Link: link, Subflow: -1, Bytes: int64(bytes)})
+}
+
+// AckCompress records the ACK channel deferring a feedback packet into a
+// compression slot. path names the netem path (carried in the Link field).
+func (b *Bus) AckCompress(at sim.Time, path string, deferral sim.Time) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindAckCompress, Link: path, Subflow: -1, Value: deferral.Seconds()})
+}
+
+// RackMark records RACK-style time-based loss detection declaring a packet
+// lost, with the reordering window in force at the time.
+func (b *Bus) RackMark(at sim.Time, flow string, sf int, bytes int, reoWnd sim.Time) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindRackMark, Flow: flow, Subflow: int32(sf), Bytes: int64(bytes), Value: reoWnd.Seconds()})
+}
+
+// SpuriousRetx records Eifel-style detection proving a loss declaration
+// spurious (the original packet's acknowledgement arrived after the mark).
+func (b *Bus) SpuriousRetx(at sim.Time, flow string, sf int, bytes int, wasRTO bool) {
+	if b == nil {
+		return
+	}
+	aux := 0.0
+	if wasRTO {
+		aux = 1
+	}
+	b.Emit(Event{At: at, Kind: KindSpuriousRetx, Flow: flow, Subflow: int32(sf), Bytes: int64(bytes), Aux: aux})
 }

@@ -25,6 +25,11 @@ func emitAll(b *Bus) {
 	b.SchedPick(10e6, "flowA", 0, 1400)
 	b.RunStart(42, sim.Time(30e9))
 	b.RunEnd(11e6)
+	b.Reorder(12e6, "wifi", 1500, sim.Time(3e6))
+	b.Duplicate(13e6, "wifi", 1500)
+	b.AckCompress(14e6, "[wifi]", sim.Time(2e6))
+	b.RackMark(15e6, "flowA", 1, 1400, sim.Time(5e6))
+	b.SpuriousRetx(16e6, "flowA", 1, 1400, true)
 }
 
 func TestNilBusHelpersAreNoOpsAndAllocationFree(t *testing.T) {
@@ -112,6 +117,11 @@ func TestRegistryFoldsEvents(t *testing.T) {
 		"sched_picks":      1,
 		"rate_changes":     1,
 		"mi.decide":        1,
+		"reorders":         1,
+		"duplicates":       1,
+		"ack_compressions": 1,
+		"rack_marks":       1,
+		"spurious_retx":    1,
 	}
 	for name, v := range want {
 		if got := snap.Counters[name]; got != v {

@@ -7,6 +7,7 @@ import (
 	"mpcc/internal/obs"
 	"mpcc/internal/sim"
 	"mpcc/internal/topo"
+	"mpcc/internal/transport"
 )
 
 // Invariant names, used to correlate a shrunk scenario with the original
@@ -21,9 +22,18 @@ const (
 	InvConservation  = "link-conservation" // injected = delivered + dropped + in-queue per link
 	InvByteLedger    = "byte-ledger"       // acked ≤ received ≤ offered; delivered ≤ sent per subflow
 	InvDelivery      = "expect-delivery"   // flagged file flows complete by the horizon
+	InvCleanLoss     = "clean-loss"        // zero corrected loss on lossless reordered paths
+	InvProgressStall = "progress-stall"    // no delivery gap beyond k·RTO on lossless paths
 	InvTraceDetermin = "trace-determinism" // same scenario ⇒ same trace hash
 	InvParallelIdent = "parallel-identity" // sequential and parallel execution agree
 )
+
+// progressStallBound is the default forward-progress ceiling for lossless
+// reordered runs: 5× the transport's floor RTO. On a path that reorders but
+// never drops, RACK repairs every spurious declaration within a reordering
+// window (≤ one srtt), so a delivery gap of several minimum-RTOs means data
+// was stranded, not delayed.
+const progressStallBound = 5 * transport.DefaultMinRTO
 
 // Violation is one observed invariant breach.
 type Violation struct {
@@ -73,16 +83,25 @@ type Oracle struct {
 	bufBound map[string]int
 
 	expectDelivery map[string]int64 // flow → file bytes that must complete
+
+	// Hostile-path expectations, armed on reorder-only scenarios. Both are
+	// gated at Finalize on the run having recorded zero link drops: drop-tail
+	// overflow is possible in any congested scenario, and a real drop makes a
+	// non-zero corrected loss or a recovery stall legitimate.
+	expectCleanLoss map[string]bool     // flow → corrected loss must be 0 once complete
+	expectProgress  map[string]sim.Time // flow → max tolerated delivery gap
 }
 
 // NewOracle returns an oracle with no flow-specific knowledge; register
 // rate bounds and delivery expectations before the run starts.
 func NewOracle() *Oracle {
 	return &Oracle{
-		down:           make(map[flowSF]bool),
-		bounds:         make(map[string]rateBound),
-		bufBound:       make(map[string]int),
-		expectDelivery: make(map[string]int64),
+		down:            make(map[flowSF]bool),
+		bounds:          make(map[string]rateBound),
+		bufBound:        make(map[string]int),
+		expectDelivery:  make(map[string]int64),
+		expectCleanLoss: make(map[string]bool),
+		expectProgress:  make(map[string]sim.Time),
 	}
 }
 
@@ -96,6 +115,21 @@ func (o *Oracle) ExpectRateBounds(flow string, min, max float64) {
 // at least bytes of stream data by the end of the run.
 func (o *Oracle) ExpectDelivery(flow string, bytes int64) {
 	o.expectDelivery[flow] = bytes
+}
+
+// ExpectCleanLoss registers that flow's corrected loss (declared losses
+// minus spurious repairs) must be zero at the end of the run, provided the
+// flow completed its transfer (so the repairing acknowledgements have
+// drained) and no link dropped a packet.
+func (o *Oracle) ExpectCleanLoss(flow string) {
+	o.expectCleanLoss[flow] = true
+}
+
+// ExpectProgress registers that flow must never go longer than bound between
+// consecutive first-time deliveries while it has data to move, provided no
+// link dropped a packet.
+func (o *Oracle) ExpectProgress(flow string, bound sim.Time) {
+	o.expectProgress[flow] = bound
 }
 
 // OverrideBufferBound pins the oracle's queue bound for a link, replacing
@@ -221,6 +255,46 @@ func (o *Oracle) Finalize(res *exp.Result) []Violation {
 				o.report(InvDelivery, 0,
 					"flow %s: file of %d bytes not fully delivered (fct %v, acked %d, in-order %d)",
 					name, want, conn.FCT(), conn.AckedBytes(), conn.InOrderBytes())
+			}
+		}
+	}
+	if len(o.expectCleanLoss)+len(o.expectProgress) > 0 && res.Net != nil {
+		var drops uint64
+		for _, name := range res.Net.LinkNames() {
+			st := res.Net.Link(name).Stats()
+			drops += st.DropsQueueFull + st.DropsRandom + st.DropsOutage + st.DropsBurst
+		}
+		// With any real drop the checks below don't apply: a genuinely lost
+		// packet is correctly counted as lost, and its recovery may stall.
+		if drops == 0 {
+			for name, conn := range res.Conns {
+				if o.expectCleanLoss[name] && conn.FCT() >= 0 {
+					for _, sf := range conn.Subflows() {
+						if c := sf.CorrectedLostPkts(); c != 0 {
+							o.report(InvCleanLoss, 0,
+								"flow %s sf%d: corrected loss %d on a lossless path (lost %d, spurious %d)",
+								name, sf.ID(), c, sf.LostPkts(), sf.SpuriousPkts())
+						}
+					}
+				}
+				if bound, ok := o.expectProgress[name]; ok {
+					gap := conn.MaxDeliveryGap()
+					// An unfinished flow is still moving data, so the quiet
+					// stretch before the horizon counts as a gap too.
+					if conn.FCT() < 0 && o.horizon > 0 && conn.LastDeliveredAt() > 0 {
+						if tail := o.horizon - conn.LastDeliveredAt(); tail > gap {
+							gap = tail
+						}
+					}
+					if gap > bound {
+						o.report(InvProgressStall, 0,
+							"flow %s: forward progress stalled for %v (bound %v)", name, gap, bound)
+					}
+					if conn.LastDeliveredAt() == 0 && conn.OfferedBytes() > 0 {
+						o.report(InvProgressStall, 0,
+							"flow %s: offered %d bytes but delivered nothing", name, conn.OfferedBytes())
+					}
+				}
 			}
 		}
 	}

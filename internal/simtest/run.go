@@ -70,6 +70,7 @@ func CheckOpts(sc Scenario, opts Options) *Report {
 		o.OverrideBufferBound(link, b)
 	}
 	cfg := ccmpcc.DefaultConfig(ccmpcc.LossParams())
+	reorderOnly := sc.ReorderOnly()
 	for i, f := range sc.Flows {
 		switch exp.Protocol(f.Proto) {
 		case exp.MPCCLoss, exp.MPCCLatency, exp.Vivace:
@@ -79,6 +80,12 @@ func CheckOpts(sc Scenario, opts Options) *Report {
 		}
 		if f.Expect {
 			o.ExpectDelivery(FlowName(i), int64(f.FileKB)*1024)
+		}
+		if reorderOnly {
+			// Reordering alone must never surface as loss or stall progress;
+			// the oracle self-gates on the run recording zero drops.
+			o.ExpectCleanLoss(FlowName(i))
+			o.ExpectProgress(FlowName(i), progressStallBound)
 		}
 	}
 	hs := obs.NewHashSink()

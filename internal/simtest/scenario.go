@@ -33,7 +33,18 @@ type LinkSpec struct {
 	BufBytes int     `json:"buf"`
 	LossPct  float64 `json:"loss,omitempty"`
 	JitterMs float64 `json:"jitter,omitempty"`
+	// Hostile-path impairments (see DESIGN.md "Hostile-path model"):
+	// independent per-packet reordering with netem-style gap/correlation
+	// selection, and per-packet duplication.
+	ReorderPct  float64 `json:"reo,omitempty"`      // reorder probability ×100
+	ReorderCorr float64 `json:"reoCorr,omitempty"`  // correlation of successive draws
+	ReorderGap  int     `json:"reoGap,omitempty"`   // every Gap-th packet reorders
+	ReoEarlyMs  float64 `json:"reoEarly,omitempty"` // cap on early arrival
+	DupPct      float64 `json:"dup,omitempty"`      // duplication probability ×100
 }
+
+// reorders reports whether either reorder trigger is configured.
+func (l LinkSpec) reorders() bool { return l.ReorderPct > 0 || l.ReorderGap > 0 }
 
 // FlowSpec declares one connection: its protocol, one link-index path per
 // subflow, an optional start offset and file size (0 = bulk), and whether
@@ -45,6 +56,18 @@ type FlowSpec struct {
 	StartMs float64 `json:"start,omitempty"`
 	FileKB  int     `json:"file,omitempty"`
 	Expect  bool    `json:"expect,omitempty"`
+	// ACK-path impairments, applied to every path of the flow: a fixed
+	// asymmetric reverse-path delay add-on, uniform reverse jitter (which may
+	// reorder ACKs), and ACK compression quantizing feedback arrivals onto
+	// slot boundaries.
+	AckDelayMs    float64 `json:"ackDelay,omitempty"`
+	AckJitterMs   float64 `json:"ackJitter,omitempty"`
+	AckCompressMs float64 `json:"ackComp,omitempty"`
+}
+
+// ackImpaired reports whether any ACK-path impairment is configured.
+func (f FlowSpec) ackImpaired() bool {
+	return f.AckDelayMs > 0 || f.AckJitterMs > 0 || f.AckCompressMs > 0
 }
 
 // Fault kinds of FaultSpec.
@@ -89,6 +112,25 @@ type Scenario struct {
 // Duration returns the run horizon in virtual time.
 func (s Scenario) Duration() sim.Time { return sim.FromSeconds(s.DurationMs / 1000) }
 
+// ReorderOnly reports whether at least one link reorders while nothing in
+// the configuration can destroy a packet except drop-tail overflow: no
+// random or burst loss, no duplication (duplicates claim buffer space and
+// can evict originals), no faults. On such scenarios the hostile-path
+// oracles apply: if the run also records zero drops, every loss declaration
+// is spurious and must be repaired, and forward progress must never stall.
+func (s Scenario) ReorderOnly() bool {
+	reordered := false
+	for _, l := range s.Links {
+		if l.LossPct > 0 || l.DupPct > 0 {
+			return false
+		}
+		if l.reorders() {
+			reordered = true
+		}
+	}
+	return reordered && len(s.Faults) == 0
+}
+
 // FlowName returns the deterministic name of flow i ("f0", "f1", …).
 func FlowName(i int) string { return fmt.Sprintf("f%d", i) }
 
@@ -128,6 +170,10 @@ func (s Scenario) Validate() error {
 		if l.RateMbps <= 0 || l.DelayMs < 0 || l.BufBytes <= 0 || l.LossPct < 0 || l.LossPct > 100 {
 			return fmt.Errorf("simtest: link %d has invalid parameters %+v", i, l)
 		}
+		if l.ReorderPct < 0 || l.ReorderPct > 100 || l.ReorderCorr < 0 || l.ReorderCorr > 1 ||
+			l.ReorderGap < 0 || l.ReoEarlyMs < 0 || l.DupPct < 0 || l.DupPct > 100 {
+			return fmt.Errorf("simtest: link %d has invalid impairments %+v", i, l)
+		}
 	}
 	if len(s.Flows) == 0 {
 		return fmt.Errorf("simtest: no flows")
@@ -135,6 +181,9 @@ func (s Scenario) Validate() error {
 	for i, f := range s.Flows {
 		if len(f.Paths) == 0 {
 			return fmt.Errorf("simtest: flow %d has no paths", i)
+		}
+		if f.AckDelayMs < 0 || f.AckJitterMs < 0 || f.AckCompressMs < 0 {
+			return fmt.Errorf("simtest: flow %d has negative ACK impairments %+v", i, f)
 		}
 		for _, path := range f.Paths {
 			if len(path) == 0 {
@@ -175,6 +224,12 @@ func (s Scenario) String() string {
 		fmt.Fprintf(&b, "%.0fMbps/%.0fms/%dB", l.RateMbps, l.DelayMs, l.BufBytes)
 		if l.LossPct > 0 {
 			fmt.Fprintf(&b, "/%.1f%%", l.LossPct)
+		}
+		if l.reorders() {
+			fmt.Fprintf(&b, "/reo%.0f%%", l.ReorderPct)
+		}
+		if l.DupPct > 0 {
+			fmt.Fprintf(&b, "/dup%.0f%%", l.DupPct)
 		}
 	}
 	b.WriteString("] flows=[")
@@ -240,6 +295,21 @@ func FromSeed(seed int64) Scenario {
 		if rng.Float64() < 0.15 {
 			l.JitterMs = rng.Float64() * 3
 		}
+		if rng.Float64() < 0.25 {
+			l.ReorderPct = 1 + rng.Float64()*24
+			l.ReorderCorr = rng.Float64() * 0.5
+			if rng.Float64() < 0.3 {
+				l.ReorderGap = 5 + rng.Intn(46)
+			}
+			early := delay
+			if early > 20 {
+				early = 20
+			}
+			l.ReoEarlyMs = 1 + rng.Float64()*early
+		}
+		if rng.Float64() < 0.15 {
+			l.DupPct = rng.Float64() * 10
+		}
 		s.Links = append(s.Links, l)
 	}
 
@@ -267,6 +337,16 @@ func FromSeed(seed int64) Scenario {
 		}
 		if rng.Float64() < 0.5 {
 			f.FileKB = 20 + rng.Intn(130)
+		}
+		if rng.Float64() < 0.2 {
+			switch rng.Intn(3) {
+			case 0:
+				f.AckDelayMs = 1 + rng.Float64()*20
+			case 1:
+				f.AckJitterMs = 0.5 + rng.Float64()*5
+			case 2:
+				f.AckCompressMs = 1 + rng.Float64()*7
+			}
 		}
 		s.Flows = append(s.Flows, f)
 	}
@@ -328,15 +408,49 @@ func (s *Scenario) markExpectations() {
 	if lastFaultEnd > 0.55*s.DurationMs || s.DurationMs < 2200 {
 		return
 	}
+	// Per-link subflow counts, for the fair-share feasibility check below.
+	users := make([]int, len(s.Links))
+	for _, f := range s.Flows {
+		for _, path := range f.Paths {
+			for _, li := range path {
+				users[li]++
+			}
+		}
+	}
 	for i := range s.Flows {
 		f := &s.Flows[i]
 		if f.FileKB == 0 || f.FileKB > 48 || f.StartMs > 0.1*s.DurationMs {
 			continue
 		}
+		// Fair-share feasibility with a 10× margin: recovering a tail loss
+		// can cost several backed-off RTOs, so a file that needs more than a
+		// tenth of its remaining horizon at bottleneck fair share is not a
+		// safe bet even on clean links.
+		share := 0.0
+		for _, path := range f.Paths {
+			ps := s.Links[path[0]].RateMbps / float64(users[path[0]])
+			for _, li := range path[1:] {
+				if r := s.Links[li].RateMbps / float64(users[li]); r < ps {
+					ps = r
+				}
+			}
+			if ps > share {
+				share = ps
+			}
+		}
+		txMs := float64(f.FileKB) * 1024 * 8 / (share * 1e6) * 1000
+		if txMs > 0.1*(s.DurationMs-f.StartMs) {
+			continue
+		}
 		clean := true
 		for _, path := range f.Paths {
 			for _, li := range path {
-				if burstLink[li] || s.Links[li].LossPct > 1 {
+				l := s.Links[li]
+				// Duplicates consume buffer (evicting originals under load)
+				// and heavy reordering drags completion through repeated
+				// spurious recoveries, so neither qualifies for a hard
+				// delivery deadline.
+				if burstLink[li] || l.LossPct > 1 || l.DupPct > 0 || l.ReorderPct > 15 {
 					clean = false
 				}
 			}
@@ -386,6 +500,16 @@ func (s Scenario) buildSpec(bus *obs.Bus, o *Oracle) exp.Spec {
 			StartAt:   sim.FromSeconds(f.StartMs / 1000),
 			FileBytes: int64(f.FileKB) * 1024,
 		}
+		if f.ackImpaired() {
+			ad := sim.FromSeconds(f.AckDelayMs / 1000)
+			aj := sim.FromSeconds(f.AckJitterMs / 1000)
+			ac := sim.FromSeconds(f.AckCompressMs / 1000)
+			flows[i].PathTweak = func(p *netem.Path) {
+				p.SetAckDelay(ad)
+				p.SetAckJitter(aj)
+				p.SetAckCompression(ac)
+			}
+		}
 	}
 	tweak := func(net *topo.Net) {
 		for i, ls := range s.Links {
@@ -395,6 +519,17 @@ func (s Scenario) buildSpec(bus *obs.Bus, o *Oracle) exp.Spec {
 			l.SetBuffer(ls.BufBytes)
 			l.SetLoss(ls.LossPct / 100)
 			l.SetJitter(sim.FromSeconds(ls.JitterMs / 1000))
+			if ls.reorders() {
+				l.SetReorder(&netem.Reorder{
+					Prob:     ls.ReorderPct / 100,
+					Corr:     ls.ReorderCorr,
+					Gap:      ls.ReorderGap,
+					MaxEarly: sim.FromSeconds(ls.ReoEarlyMs / 1000),
+				})
+			}
+			if ls.DupPct > 0 {
+				l.SetDuplicate(ls.DupPct / 100)
+			}
 		}
 		fi := netem.NewFaultInjector(net.Eng)
 		for _, f := range s.Faults {

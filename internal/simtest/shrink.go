@@ -128,6 +128,34 @@ func shrinkOnce(sc Scenario, target string, keepLinks bool, fails func(Scenario)
 			return c, true
 		}
 	}
+	if anyReorder(sc) {
+		c := clone(sc)
+		for i := range c.Links {
+			c.Links[i].ReorderPct, c.Links[i].ReorderCorr = 0, 0
+			c.Links[i].ReorderGap, c.Links[i].ReoEarlyMs = 0, 0
+		}
+		if fails(c) {
+			return c, true
+		}
+	}
+	if anyDup(sc) {
+		c := clone(sc)
+		for i := range c.Links {
+			c.Links[i].DupPct = 0
+		}
+		if fails(c) {
+			return c, true
+		}
+	}
+	for i, f := range sc.Flows {
+		if f.ackImpaired() {
+			c := clone(sc)
+			c.Flows[i].AckDelayMs, c.Flows[i].AckJitterMs, c.Flows[i].AckCompressMs = 0, 0, 0
+			if fails(c) {
+				return c, true
+			}
+		}
+	}
 	for i, f := range sc.Flows {
 		if f.StartMs > 0 {
 			c := clone(sc)
@@ -229,6 +257,24 @@ func anyLoss(sc Scenario) bool {
 func anyJitter(sc Scenario) bool {
 	for _, l := range sc.Links {
 		if l.JitterMs > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func anyReorder(sc Scenario) bool {
+	for _, l := range sc.Links {
+		if l.reorders() {
+			return true
+		}
+	}
+	return false
+}
+
+func anyDup(sc Scenario) bool {
+	for _, l := range sc.Links {
+		if l.DupPct > 0 {
 			return true
 		}
 	}

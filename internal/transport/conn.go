@@ -48,6 +48,11 @@ type Connection struct {
 	startAt sim.Time
 	nextOff int64
 
+	// forward-progress tracking: the longest observed interval between
+	// consecutive first-delivery events (hostile-path stall oracle).
+	lastDeliveredAt sim.Time
+	maxDeliveryGap  sim.Time
+
 	// metrics
 	goodput    *stats.Series
 	ackedBytes int64
@@ -257,6 +262,14 @@ func (c *Connection) totalUnacked() int {
 
 // onDelivered is called exactly once per segment, at first acknowledgement.
 func (c *Connection) onDelivered(seg *segment, now sim.Time) {
+	prev := c.lastDeliveredAt
+	if prev == 0 {
+		prev = c.startAt
+	}
+	if gap := now - prev; gap > c.maxDeliveryGap {
+		c.maxDeliveryGap = gap
+	}
+	c.lastDeliveredAt = now
 	c.ackedBytes += int64(seg.size)
 	c.goodput.Add(now, float64(seg.size))
 	if c.fileSize > 0 && c.fct < 0 && c.ackedBytes >= c.fileSize {
@@ -302,6 +315,17 @@ func (c *Connection) ReceivedBytes() int64 { return c.rcv.contiguous() + c.rcv.b
 // OfferedBytes returns how much application stream data has been assigned to
 // subflows so far (the high-water stream offset).
 func (c *Connection) OfferedBytes() int64 { return c.nextOff }
+
+// MaxDeliveryGap returns the longest interval between consecutive
+// first-delivery events so far (the first event is measured from Start).
+// internal/simtest's forward-progress oracle bounds it under reordering-only
+// impairment: reordering alone must never stall the stream for multiples of
+// the RTO.
+func (c *Connection) MaxDeliveryGap() sim.Time { return c.maxDeliveryGap }
+
+// LastDeliveredAt returns the time of the most recent first delivery (0 if
+// nothing has been delivered yet).
+func (c *Connection) LastDeliveredAt() sim.Time { return c.lastDeliveredAt }
 
 // MSS returns the connection's packet payload size.
 func (c *Connection) MSS() int { return c.mss }

@@ -95,6 +95,10 @@ func (s *Subflow) fail() {
 		s.pacerTimer.Stop()
 		s.pacerTimer = nil
 	}
+	if s.rackTimer != nil {
+		s.rackTimer.Stop()
+		s.rackTimer = nil
+	}
 	s.pacerIdle = true
 	s.capBlocked = false
 	// Dropping the open MIs orphans the pending rollMI callback (its

@@ -13,6 +13,14 @@ import (
 func FuzzRangeSet(f *testing.F) {
 	f.Add([]byte{0, 10, 5, 10, 20, 3})
 	f.Add([]byte{100, 50, 0, 100})
+	// Overlapping-duplicate patterns from the hostile-path model: exact
+	// duplicates (a retransmission racing its late original), a duplicate
+	// arriving after later data filled in behind it, and staggered partial
+	// overlaps stitching across range boundaries.
+	f.Add([]byte{10, 20, 10, 20, 10, 20})
+	f.Add([]byte{10, 20, 40, 20, 10, 20, 40, 20})
+	f.Add([]byte{0, 30, 10, 30, 20, 30, 5, 40})
+	f.Add([]byte{50, 10, 45, 20, 55, 10, 50, 10})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 64 {
 			return

@@ -47,6 +47,16 @@ func (mi *monitorInterval) onLost(bytes int) {
 	mi.outstanding--
 }
 
+// onSpurious repairs the interval's statistics after an Eifel-detected
+// spurious loss declaration: the bytes were charged as lost but in fact
+// arrived, so they move from the loss column to the acked column. The
+// outstanding count is untouched — the packet was already resolved when it
+// was (wrongly) declared lost.
+func (mi *monitorInterval) onSpurious(bytes int) {
+	mi.lostBytes -= bytes
+	mi.ackedBytes += bytes
+}
+
 func (mi *monitorInterval) resolved(now sim.Time) bool {
 	return mi.closed && mi.outstanding == 0 && now >= mi.end
 }

@@ -11,15 +11,16 @@ import (
 
 // pktRec is the sender-side record of one transmitted packet.
 type pktRec struct {
-	sf     *Subflow
-	seg    *segment
-	idx    uint64 // per-subflow send index (dup-threshold ordering)
-	size   int
-	sentAt sim.Time
-	acked  bool
-	lost   bool
-	mi     *monitorInterval
-	rto    *sim.Timer
+	sf        *Subflow
+	seg       *segment
+	idx       uint64 // per-subflow send index (dup-threshold ordering)
+	size      int
+	sentAt    sim.Time
+	acked     bool
+	lost      bool
+	lostByRTO bool // the loss declaration came from an RTO episode
+	mi        *monitorInterval
+	rto       *sim.Timer
 }
 
 // Subflow is one path-bound flow of a multipath connection. Exactly one of
@@ -62,6 +63,27 @@ type Subflow struct {
 	// loss-event suppression (window-based): react at most once per
 	// window of data.
 	recoverIdx uint64
+
+	// RACK-style time-based loss detection (after RFC 8985). While acks
+	// arrive in send order the classic dup-threshold marks losses; the
+	// first out-of-order acknowledgement sets reoSeen and switches the
+	// subflow to time-based marking with a reordering window derived from
+	// the path's min RTT, widened whenever a declaration later proves
+	// spurious and decaying back on an srtt timescale.
+	reoSeen      bool
+	ackedAny     bool
+	maxAckedIdx  uint64   // highest send index acknowledged
+	rackXmit     sim.Time // send time of the newest delivered packet
+	rackRTT      sim.Time // RTT that delivered it
+	minRTT       sim.Time // lifetime minimum RTT sample
+	reoWndMult   int      // adaptive multiplier on the base window
+	reoWndGrewAt sim.Time
+	rackTimer    *sim.Timer
+
+	// Eifel-style spurious-retransmission accounting: loss declarations
+	// whose packet was later acknowledged after all.
+	spuriousPkts uint64
+	spuriousRTOs uint64 // subset declared by an RTO episode
 
 	// failure detection and recovery
 	state       SubflowState
@@ -140,6 +162,29 @@ func (s *Subflow) SentBytes() int64 { return s.sentBytes }
 // LostPkts returns the number of packets declared lost.
 func (s *Subflow) LostPkts() uint64 { return s.lostPkts }
 
+// SpuriousPkts returns how many loss declarations were later proven
+// spurious by the lost packet's own acknowledgement arriving.
+func (s *Subflow) SpuriousPkts() uint64 { return s.spuriousPkts }
+
+// SpuriousRTOs returns the subset of spurious declarations that had fired an
+// RTO episode (and so had their backoff undone).
+func (s *Subflow) SpuriousRTOs() uint64 { return s.spuriousRTOs }
+
+// CorrectedLostPkts returns losses net of spurious declarations — the
+// transport's best estimate of packets the network actually dropped. Under
+// reordering-only impairment it converges to zero once in-flight
+// acknowledgements drain (checked by internal/simtest).
+func (s *Subflow) CorrectedLostPkts() uint64 { return s.lostPkts - s.spuriousPkts }
+
+// ReorderWindow returns the current RACK reordering window, or 0 while no
+// reordering has been observed and dup-threshold detection is in effect.
+func (s *Subflow) ReorderWindow() sim.Time {
+	if !s.reoSeen {
+		return 0
+	}
+	return s.reoWnd(s.conn.eng.Now())
+}
+
 // SentPkts returns the number of packet transmissions (including
 // retransmissions).
 func (s *Subflow) SentPkts() uint64 { return s.sentPkts }
@@ -154,6 +199,7 @@ func (s *Subflow) enqueue(seg *segment) {
 func (s *Subflow) init() {
 	s.srtt = s.path.BaseRTT()
 	s.rttvar = s.srtt / 2
+	s.reoWndMult = 1
 	s.updateRTO()
 	if s.rc != nil {
 		// Until the first MI opens the subflow must not transmit.
@@ -466,10 +512,31 @@ func (s *Subflow) handleAck(rec *pktRec) {
 	// failure detector and the RTO backoff (RFC 6298 §5.7).
 	s.consecRTOs, s.backoff = 0, 0
 	if rec.lost {
-		// Spurious loss declaration: the packet arrived after all. It was
-		// already charged as lost; only delivery accounting remains — but
-		// this may be the last event on the subflow, so keep it alive.
+		// Eifel-style spurious-retransmission repair: the "lost" packet's
+		// acknowledgement arrived after all, so the declaration — and every
+		// penalty charged on its back — was wrong. Undo what is still
+		// undoable: move the bytes from the MI's loss column back to acked
+		// (so the corrected loss rate, zero under pure reordering, is what
+		// reaches the controller), widen the RACK reordering window so the
+		// mistake is not repeated, and let a window controller restore its
+		// pre-reaction state. The RTO backoff was already reset above. The
+		// inflight ledger was settled when the packet was declared lost.
 		rec.acked = true
+		s.spuriousPkts++
+		if rec.lostByRTO {
+			s.spuriousRTOs++
+		}
+		s.reoSeen = true
+		s.growReoWnd(now)
+		if rec.mi != nil {
+			// If the MI already resolved and reported, the correction is
+			// lost; the widened window confines that to early spurious marks.
+			rec.mi.onSpurious(rec.size)
+		}
+		if sr, ok := s.controller().(cc.SpuriousRepairer); ok {
+			sr.OnSpuriousLoss(now, rec.lostByRTO)
+		}
+		s.conn.probes.SpuriousRetx(now, s.conn.Name, s.id, rec.size, rec.lostByRTO)
 		s.deliverOnce(rec.seg, now)
 		s.conn.pump()
 		s.kick()
@@ -489,9 +556,31 @@ func (s *Subflow) handleAck(rec *pktRec) {
 	if s.wc != nil {
 		s.wc.OnAck(now, rtt, 1)
 	}
-	// Dup-threshold loss detection: anything sent ≥3 packets before the
-	// acked one and still unresolved is declared lost.
-	s.detectReordering(rec.idx)
+	// RACK bookkeeping: track the min RTT (reordering-window base), flag
+	// the first out-of-send-order acknowledgement, and advance the most
+	// recently sent delivered packet.
+	if s.minRTT == 0 || rtt < s.minRTT {
+		s.minRTT = rtt
+	}
+	if s.ackedAny && rec.idx < s.maxAckedIdx {
+		s.reoSeen = true
+	}
+	if !s.ackedAny || rec.idx > s.maxAckedIdx {
+		s.maxAckedIdx = rec.idx
+	}
+	s.ackedAny = true
+	if rec.sentAt >= s.rackXmit {
+		s.rackXmit = rec.sentAt
+		s.rackRTT = rtt
+	}
+	// Loss detection: dup-threshold ordering while acks arrive in order;
+	// once reordering has been observed, time-based RACK marking (the dup
+	// threshold would misread every reordered flight as loss).
+	if s.reoSeen {
+		s.rackDetect(now)
+	} else {
+		s.detectReordering(rec.idx)
+	}
 	s.advanceHead()
 	if s.rc != nil {
 		s.finalizeMIs()
@@ -508,6 +597,86 @@ func (s *Subflow) handleAck(rec *pktRec) {
 }
 
 const dupThreshold = 3
+
+// rackSweepEvent is the static callback for the RACK recheck timer: packets
+// that were inside the reordering window when last inspected are re-examined
+// once the window has elapsed on the clock.
+func rackSweepEvent(a any) {
+	s := a.(*Subflow)
+	s.rackTimer = nil
+	s.rackDetect(s.conn.eng.Now())
+	s.advanceHead()
+	if s.rc != nil {
+		s.finalizeMIs()
+	}
+	s.conn.pump()
+	s.kick()
+}
+
+// rackDetect marks unresolved packets lost once the reordering window rules
+// out late arrival (RFC 8985 model): a packet is lost when something sent
+// more than reoWnd later has already been delivered, or when its own age
+// exceeds the delivering RTT plus the window. Packets still inside the
+// window get a recheck timer instead of a verdict.
+func (s *Subflow) rackDetect(now sim.Time) {
+	// ackedAny gates validity of rackXmit/rackRTT (a plain zero check would
+	// misread packets legitimately sent at virtual time 0).
+	if !s.reoSeen || !s.ackedAny || s.state == SubflowFailed {
+		return
+	}
+	reoWnd := s.reoWnd(now)
+	var nextCheck sim.Time
+	for i := s.outHead; i < len(s.outstanding); i++ {
+		rec := s.outstanding[i]
+		if rec == nil || rec.acked || rec.lost {
+			continue
+		}
+		if rec.sentAt > s.rackXmit {
+			break // sent after the newest delivery: no evidence against it
+		}
+		deadline := rec.sentAt + s.rackRTT + reoWnd
+		if s.rackXmit-rec.sentAt > reoWnd || now >= deadline {
+			s.conn.probes.RackMark(now, s.conn.Name, s.id, rec.size, reoWnd)
+			s.markLost(rec, false)
+			continue
+		}
+		if nextCheck == 0 || deadline < nextCheck {
+			nextCheck = deadline
+		}
+	}
+	if nextCheck > now && s.rackTimer == nil {
+		s.rackTimer = s.conn.eng.AtArg(nextCheck, rackSweepEvent, s)
+	}
+}
+
+// growReoWnd widens the reordering window (doubling the multiplier, capped)
+// after a proven-spurious loss declaration: the window was evidently too
+// small for the path's actual reordering depth.
+func (s *Subflow) growReoWnd(now sim.Time) {
+	if s.reoWndMult < 16 {
+		s.reoWndMult *= 2
+	}
+	s.reoWndGrewAt = now
+}
+
+// reoWnd returns the current RACK reordering window: a quarter of the
+// path's min RTT scaled by the adaptive multiplier, decaying one halving
+// per 16 srtt without fresh spurious evidence, capped at one smoothed RTT.
+func (s *Subflow) reoWnd(now sim.Time) sim.Time {
+	for s.reoWndMult > 1 && s.srtt > 0 && now-s.reoWndGrewAt > 16*s.srtt {
+		s.reoWndMult /= 2
+		s.reoWndGrewAt += 16 * s.srtt
+	}
+	base := s.minRTT
+	if base == 0 {
+		base = s.srtt
+	}
+	w := base / 4 * sim.Time(s.reoWndMult)
+	if w > s.srtt {
+		w = s.srtt
+	}
+	return w
+}
 
 func (s *Subflow) detectReordering(ackedIdx uint64) {
 	for i := s.outHead; i < len(s.outstanding); i++ {
@@ -569,6 +738,7 @@ func (s *Subflow) onRTOTimer(rec *pktRec) {
 
 func (s *Subflow) markLost(rec *pktRec, isRTO bool) {
 	rec.lost = true
+	rec.lostByRTO = isRTO
 	s.lostPkts++
 	s.inflightBytes -= rec.size
 	s.inflightPkts--
