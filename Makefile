@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fuzz simtest fmt
+.PHONY: build test check bench bench-gate examples fuzz simtest fmt
 
 build:
 	$(GO) build ./...
@@ -18,11 +18,26 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -bench BenchmarkEmulatorThroughput -benchtime 1x -benchmem .
+	$(MAKE) examples
+
+# Build every example and smoke-run the trace-replay demo (short horizon via
+# its -dur flag), so the examples stay compilable and runnable under tier-1.
+examples:
+	$(GO) build ./examples/...
+	$(GO) run ./examples/cellular_trace -dur 12s
 
 # Full benchmark pass; the output is echoed and also summarized into
 # BENCH_results.json (benchmark name → ns/op, events/op, allocs/op, …).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_results.json
+
+# Bench-regression gate: re-run the suite and fail if any benchmark's ns/op
+# or allocs/op grew more than GATE_PCT% over the committed BENCH_results.json
+# (refresh the baseline with `make bench` when a slowdown is intentional).
+GATE_PCT ?= 10
+bench-gate:
+	$(GO) test -run '^$$' -bench . -benchmem . | \
+		$(GO) run ./cmd/benchjson -o /tmp/bench_gate.json -gate BENCH_results.json -gate-pct $(GATE_PCT)
 
 # Deep simulation-testing sweep: SIMTEST_N randomized scenarios under the
 # full invariant oracle (see internal/simtest and DESIGN.md "Correctness
@@ -39,6 +54,7 @@ fuzz:
 	$(GO) test ./internal/fairness -fuzz FuzzParse -fuzztime 10s
 	$(GO) test ./internal/transport -fuzz FuzzRangeSet -fuzztime 10s
 	$(GO) test ./internal/transport -fuzz FuzzFaultTimeline -fuzztime 10s
+	$(GO) test ./internal/netem -fuzz FuzzParseBWTrace -fuzztime 10s
 
 fmt:
 	gofmt -l -w .

@@ -12,9 +12,17 @@
 // Metrics are the unit-suffixed columns of the standard bench line: ns/op,
 // B/op, allocs/op, plus any custom b.ReportMetric units such as events/op.
 //
+// With -gate, the freshly parsed results are additionally compared against
+// a baseline BENCH_results.json: any benchmark whose ns/op or allocs/op
+// grew by more than -gate-pct percent over the baseline fails the run with
+// a nonzero exit — the CI bench-regression gate. Benchmarks absent from the
+// baseline are reported as new and pass; benchmarks that vanished are
+// reported and pass (renames should update the baseline, not fail CI).
+//
 // Usage:
 //
 //	go test -bench=. -benchmem . | benchjson -o BENCH_results.json
+//	go test -bench=. -benchmem . | benchjson -o /tmp/bench.json -gate BENCH_results.json
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -88,10 +97,61 @@ func parseBenchLine(line string) (name string, metrics map[string]float64, ok bo
 	return name, metrics, true
 }
 
+// gateMetrics are the per-benchmark metrics the regression gate watches:
+// ns/op is throughput (inverted), allocs/op is allocation discipline. B/op
+// is deliberately excluded — it tracks allocs/op and double-reports.
+var gateMetrics = []string{"ns/op", "allocs/op"}
+
+// gate compares current results against a baseline file and returns the
+// regression report lines (empty = pass). Higher is worse for every gated
+// metric.
+func gate(baselinePath string, current map[string]map[string]float64, pct float64) ([]string, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	var base output
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+	var regressions []string
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		baseMetrics, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %s is new (no baseline); passing\n", name)
+			continue
+		}
+		for _, m := range gateMetrics {
+			b, okB := baseMetrics[m]
+			c, okC := current[name][m]
+			if !okB || !okC || b <= 0 {
+				continue
+			}
+			if growth := 100 * (c - b) / b; growth > pct {
+				regressions = append(regressions,
+					fmt.Sprintf("%s %s: %.6g → %.6g (+%.1f%%, limit +%.0f%%)", name, m, b, c, growth, pct))
+			}
+		}
+	}
+	for name := range base.Benchmarks {
+		if _, ok := current[name]; !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %s vanished from the run (baseline stale?)\n", name)
+		}
+	}
+	return regressions, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_results.json", "output JSON file")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"worker count the benchmarked run used (sweep runners pass theirs; benchmarks default to GOMAXPROCS)")
+	gateFile := flag.String("gate", "", "baseline BENCH_results.json to gate against (empty = no gate)")
+	gatePct := flag.Float64("gate-pct", 10, "max tolerated ns/op or allocs/op growth over the baseline, percent")
 	flag.Parse()
 
 	start := time.Now()
@@ -136,4 +196,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(results), *out)
+
+	if *gateFile != "" {
+		regressions, err := gate(*gateFile, results, *gatePct)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %v\n", err)
+			os.Exit(1)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %d regression(s) vs %s:\n", len(regressions), *gateFile)
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate: no regressions beyond %.0f%% vs %s\n", *gatePct, *gateFile)
+	}
 }

@@ -2,7 +2,9 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -83,5 +85,53 @@ func TestOutputShape(t *testing.T) {
 	}
 	if back.B["BenchmarkX"]["ns/op"] != 100.0 {
 		t.Errorf("benchmarks section mangled: %v", back.B)
+	}
+}
+
+// TestGate pins the regression gate: growth beyond the threshold on a gated
+// metric fails, growth within it (and improvements, new benchmarks, or
+// non-gated metrics like B/op) passes.
+func TestGate(t *testing.T) {
+	baseline := output{
+		Benchmarks: map[string]map[string]float64{
+			"BenchmarkA":    {"ns/op": 1000, "allocs/op": 50, "B/op": 4000},
+			"BenchmarkB":    {"ns/op": 2000, "allocs/op": 10},
+			"BenchmarkGone": {"ns/op": 500},
+		},
+	}
+	data, err := json.Marshal(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/baseline.json"
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	current := map[string]map[string]float64{
+		"BenchmarkA":   {"ns/op": 1250, "allocs/op": 50, "B/op": 9000}, // ns/op +25% fails; B/op ignored
+		"BenchmarkB":   {"ns/op": 2100, "allocs/op": 9},                // +5% passes, improvement passes
+		"BenchmarkNew": {"ns/op": 1e9},                                 // no baseline → passes
+	}
+	regs, err := gate(path, current, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkA ns/op") {
+		t.Fatalf("gate = %v, want exactly the BenchmarkA ns/op regression", regs)
+	}
+
+	regs, err = gate(path, map[string]map[string]float64{
+		"BenchmarkA": {"ns/op": 1000, "allocs/op": 56}, // +12% allocs fails
+	}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkA allocs/op") {
+		t.Fatalf("gate = %v, want exactly the allocs/op regression", regs)
+	}
+
+	if _, err := gate(t.TempDir()+"/missing.json", current, 10); err == nil {
+		t.Fatal("missing baseline must error, not silently pass")
 	}
 }

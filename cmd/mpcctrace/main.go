@@ -180,21 +180,28 @@ func cmdSummary(args []string, stdin io.Reader, stdout io.Writer) error {
 }
 
 // printHostile renders the hostile-path breakdown: what the network did to
-// the packets (drops vs reorders vs duplicates vs ACK compression) against
-// what the loss detector concluded (RACK marks, retransmits later proven
-// spurious). Omitted entirely when the run saw none of it.
+// the packets (drops vs reorders vs duplicates vs ACK compression), what the
+// adversarial path contracts did (policer drops, shaper deferrals, LEO
+// handovers), and what the loss detector concluded (RACK marks, retransmits
+// later proven spurious). Omitted entirely when the run saw none of it.
 func printHostile(w io.Writer, s *obs.Snapshot) {
 	reo := s.Counters["reorders"]
 	dup := s.Counters["duplicates"]
 	ackc := s.Counters["ack_compressions"]
 	rack := s.Counters["rack_marks"]
 	spur := s.Counters["spurious_retx"]
-	if reo+dup+ackc+rack+spur == 0 {
+	pol := s.Counters["drops.policer"]
+	shp := s.Counters["shaper_delays"]
+	ho := s.Counters["handovers"]
+	if reo+dup+ackc+rack+spur+pol+shp+ho == 0 {
 		return
 	}
 	fmt.Fprintln(w, "hostile path:")
 	fmt.Fprintf(w, "  link: drops=%g reorders=%g duplicates=%g ack-compressions=%g\n",
 		s.Counters["drops.total"], reo, dup, ackc)
+	if pol+shp+ho > 0 {
+		fmt.Fprintf(w, "  contracts: policer-drops=%g shaper-delays=%g handovers=%g\n", pol, shp, ho)
+	}
 	line := fmt.Sprintf("  loss signal: rack-marks=%g spurious-retx=%g", rack, spur)
 	if retx := s.Counters["retransmits"]; retx > 0 {
 		line += fmt.Sprintf(" (%.1f%% of %g retransmits wasted)", 100*spur/retx, retx)

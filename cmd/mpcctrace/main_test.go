@@ -122,6 +122,43 @@ func TestSummaryHostilePathBreakdown(t *testing.T) {
 	}
 }
 
+// TestSummaryContractsBreakdown traces a run whose links carry the
+// adversarial path contracts — a policer, a shaper, and a handover schedule
+// — and checks summary surfaces the contracts line with live counts.
+func TestSummaryContractsBreakdown(t *testing.T) {
+	var buf bytes.Buffer
+	jw := obs.NewJSONLWriter(&buf)
+	exp.Run(exp.Spec{
+		Seed: 9, Duration: 2 * sim.Second, Warmup: sim.Second,
+		Topo: topo.Fig3b(), Proto: exp.MPCCLoss, Probes: obs.NewBus(jw),
+		Tweak: func(n *topo.Net) {
+			n.Link("link1").SetPolicer(3e6, 9000)
+			n.Link("link2").SetShaper(5e6, 9000)
+			netem.ScheduleHandovers(n.Eng, n.Link("link2"),
+				[]netem.HandoverStep{
+					{RateBps: 6e6, Delay: 25 * sim.Millisecond},
+					{RateBps: 10e6, Delay: 15 * sim.Millisecond},
+				},
+				500*sim.Millisecond, 600*sim.Millisecond, 2)
+		},
+	})
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runTool(t, []string{"summary"}, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"contracts:", "policer-drops=", "shaper-delays=", "handovers=2"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("contract summary missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "policer-drops=0 ") {
+		t.Errorf("policed run recorded zero policer drops:\n%s", out)
+	}
+}
+
 func TestFilterRoundTripsBytes(t *testing.T) {
 	trace, _ := liveTrace(t)
 	// A no-op filter must re-emit the trace byte-identically.

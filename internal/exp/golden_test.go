@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"mpcc/internal/netem"
 	"mpcc/internal/obs"
 	"mpcc/internal/sim"
 	"mpcc/internal/topo"
@@ -48,12 +49,65 @@ func TestGoldenTrace(t *testing.T) {
 	if err := jw.Flush(); err != nil {
 		t.Fatal(err)
 	}
+	checkGoldenTrace(t, buf.Bytes(), "trace_fig3c_seed11.jsonl.golden")
+}
+
+// policedGoldenSpec layers the adversarial path contracts over the golden
+// topology: a policer on link1, a shaper on link2, and two handovers on
+// link2 — so the checked-in trace locks the wire format of the policer-drop
+// cause and the shaper-delay and handover event kinds.
+func policedGoldenSpec(bus *obs.Bus) Spec {
+	return Spec{
+		Seed:     17,
+		Duration: 1200 * sim.Millisecond,
+		Topo:     topo.Fig3c(),
+		Proto:    MPCCLoss,
+		Probes:   bus,
+		Tweak: func(net *topo.Net) {
+			for _, name := range net.LinkNames() {
+				l := net.Link(name)
+				l.SetRate(2e6)
+				l.SetDelay(10 * sim.Millisecond)
+				l.SetBuffer(12000)
+			}
+			net.Link("link1").SetPolicer(1e6, 4500)
+			net.Link("link2").SetShaper(1.5e6, 4500)
+			netem.ScheduleHandovers(net.Eng, net.Link("link2"),
+				[]netem.HandoverStep{
+					{RateBps: 2.5e6, Delay: 12 * sim.Millisecond},
+					{RateBps: 2e6, Delay: 10 * sim.Millisecond},
+				},
+				400*sim.Millisecond, 300*sim.Millisecond, 2)
+		},
+	}
+}
+
+// TestGoldenTracePoliced pins the trace of a run through policed, shaped and
+// handover-stepping links, byte for byte.
+func TestGoldenTracePoliced(t *testing.T) {
+	var buf bytes.Buffer
+	jw := obs.NewJSONLWriter(&buf)
+	Run(policedGoldenSpec(obs.NewBus(jw)))
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	got := buf.Bytes()
+	for _, frag := range []string{`"policer"`, `"shaper-delay"`, `"handover"`} {
+		if !bytes.Contains(got, []byte(frag)) {
+			t.Fatalf("policed golden run emitted no %s events; the regression is vacuous", frag)
+		}
+	}
+	checkGoldenTrace(t, got, "trace_policed_seed17.jsonl.golden")
+}
+
+// checkGoldenTrace compares got against the named golden file (rewriting it
+// under -update) and verifies the stored trace parses.
+func checkGoldenTrace(t *testing.T, got []byte, name string) {
+	t.Helper()
 	if len(got) == 0 {
 		t.Fatal("golden run produced an empty trace")
 	}
-
-	golden := filepath.Join("testdata", "trace_fig3c_seed11.jsonl.golden")
+	golden := filepath.Join("testdata", name)
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)

@@ -102,6 +102,12 @@ func Registry() []Experiment {
 		{"faults", "robustness: mid-run link outage on topology 3c — failure detection, migration, probing revival", func(cfg Config) []*Table {
 			return []*Table{FaultRecovery(cfg)}
 		}},
+		{"leo", "robustness: LEO-satellite handovers — goodput vs cadence and per-dwell re-convergence", func(cfg Config) []*Table {
+			return LEO(cfg)
+		}},
+		{"policer", "robustness: token-bucket policing — goodput and loss-signal behavior when loss carries no latency warning", func(cfg Config) []*Table {
+			return Policer(cfg)
+		}},
 		{"reorder", "robustness: goodput and loss-signal integrity across reordering intensities", func(cfg Config) []*Table {
 			return Reorder(cfg)
 		}},

@@ -1,0 +1,73 @@
+package netem
+
+import (
+	"testing"
+
+	"mpcc/internal/obs"
+	"mpcc/internal/sim"
+)
+
+func TestScheduleHandoversStepsOnSchedule(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, "leo", 100*mbps, 20*sim.Millisecond, 1<<20)
+	steps := []HandoverStep{
+		{RateBps: 40 * mbps, Delay: 30 * sim.Millisecond},
+		{RateBps: 80 * mbps, Delay: 15 * sim.Millisecond},
+	}
+	var at []sim.Time
+	var rates []float64
+	bus := obs.NewBus(obs.SinkFunc(func(ev obs.Event) {
+		if ev.Kind == obs.KindHandover {
+			at = append(at, ev.At)
+			rates = append(rates, ev.Value)
+		}
+	}))
+	ScheduleHandovers(e, l, steps, sim.Second, sim.Second, 3)
+	// Probes attach after scheduling, as the experiment harness does
+	// (Build → Tweak → SetProbes): handovers must still be observed.
+	e.At(500*sim.Millisecond, func() { l.SetProbes(bus) })
+	e.Run(4 * sim.Second)
+
+	if got := l.Stats().Handovers; got != 3 {
+		t.Fatalf("Handovers = %d, want 3", got)
+	}
+	wantAt := []sim.Time{sim.Second, 2 * sim.Second, 3 * sim.Second}
+	if len(at) != 3 {
+		t.Fatalf("handover probes at %v, want exactly 3", at)
+	}
+	for i := range wantAt {
+		if at[i] != wantAt[i] {
+			t.Fatalf("handover %d fired at %v, want exactly %v", i, at[i], wantAt[i])
+		}
+	}
+	// The third step wraps around to steps[0].
+	if rates[0] != 40*mbps || rates[1] != 80*mbps || rates[2] != 40*mbps {
+		t.Fatalf("handover rates = %v, want cycle 40/80/40 Mbps", rates)
+	}
+	if l.Rate() != 40*mbps || l.Delay() != 30*sim.Millisecond {
+		t.Fatalf("final link state = %v bps / %v, want 40 Mbps / 30 ms", l.Rate(), l.Delay())
+	}
+}
+
+func TestScheduleHandoversStopAndDefaults(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, "leo", 100*mbps, 20*sim.Millisecond, 1<<20)
+	steps := []HandoverStep{
+		{RateBps: 40 * mbps, Delay: 30 * sim.Millisecond},
+		{RateBps: 80 * mbps, Delay: 15 * sim.Millisecond},
+	}
+	// count <= 0 runs one full cycle.
+	stop := ScheduleHandovers(e, l, steps, sim.Second, sim.Second, 0)
+	e.At(1500*sim.Millisecond, stop) // cancel before the second step
+	e.Run(4 * sim.Second)
+	if got := l.Stats().Handovers; got != 1 {
+		t.Fatalf("Handovers after stop = %d, want 1", got)
+	}
+	if l.Rate() != 40*mbps {
+		t.Fatalf("rate = %v, want the first step's 40 Mbps", l.Rate())
+	}
+	// Empty schedules are inert.
+	if stop := ScheduleHandovers(e, l, nil, sim.Second, sim.Second, 5); stop == nil {
+		t.Fatal("empty schedule returned nil stop")
+	}
+}

@@ -64,6 +64,7 @@ const (
 	DropRandom                      // i.i.d. non-congestion loss
 	DropOutage                      // link down (outage/flap) or stalled at zero rate
 	DropBurst                       // Gilbert–Elliott bad-state burst loss
+	DropPolicer                     // token-bucket policer deficit (non-queue-building)
 )
 
 func (r DropReason) String() string {
@@ -76,6 +77,8 @@ func (r DropReason) String() string {
 		return "outage"
 	case DropBurst:
 		return "burst"
+	case DropPolicer:
+		return "policer"
 	default:
 		return fmt.Sprintf("DropReason(%d)", int(r))
 	}
@@ -90,6 +93,7 @@ type LinkStats struct {
 	DropsRandom     uint64
 	DropsOutage     uint64
 	DropsBurst      uint64
+	DropsPolicer    uint64
 	// Reordered counts packets dispatched early past the in-order guard;
 	// Duplicated counts link-created packet copies (the copies themselves
 	// also appear in EnqueuedPackets/EnqueuedBytes).
@@ -98,6 +102,17 @@ type LinkStats struct {
 	// Outages counts up→down transitions (SetDown(true) while up, including
 	// each down phase of a flap sequence).
 	Outages uint64
+	// PolicerPassedBytes sums the bytes the policer admitted (conformant
+	// traffic only — together with DropsPolicer/PolicerDropBytes it bounds
+	// the policed link's conformance envelope). PolicerDropBytes sums the
+	// bytes it refused.
+	PolicerPassedBytes uint64
+	PolicerDropBytes   uint64
+	// ShaperDelayed counts packets whose serialization start the shaper
+	// pushed later than queue/transmitter availability alone would have.
+	ShaperDelayed uint64
+	// Handovers counts scheduled rate+delay steps applied via Handover.
+	Handovers uint64
 }
 
 // Link models a unidirectional link with finite bandwidth, a drop-tail
@@ -126,6 +141,9 @@ type Link struct {
 	reorderGapCnt int     // packets since the last gap-forced reorder
 
 	dupProb float64 // per-packet duplication probability in [0,1]
+
+	policer *TokenBucket // nonconforming packets drop (nil = off)
+	shaper  *TokenBucket // nonconforming packets defer (nil = off)
 
 	lastArrival sim.Time // monotonic delivery guard under jitter
 
@@ -426,6 +444,18 @@ func (l *Link) enqueue(pkt *Packet) {
 		l.drop(pkt, DropRandom)
 		return
 	}
+	if l.policer != nil {
+		// Policing happens before drop-tail admission: a nonconforming packet
+		// never touches the queue, so its loss adds zero delay anywhere — the
+		// signature of the non-queue-building regime.
+		if !l.policer.Conforms(now, pkt.Size) {
+			l.stats.DropsPolicer++
+			l.stats.PolicerDropBytes += uint64(pkt.Size)
+			l.drop(pkt, DropPolicer)
+			return
+		}
+		l.stats.PolicerPassedBytes += uint64(pkt.Size)
+	}
 	// The packet in service does not occupy buffer space; everything behind
 	// it must fit in bufBytes.
 	inService := 0
@@ -452,6 +482,18 @@ func (l *Link) enqueue(pkt *Packet) {
 	start := now
 	if l.busyUntil > start {
 		start = l.busyUntil
+	}
+	if l.shaper != nil {
+		// The shaper always debits the bucket; only a start pushed past both
+		// arrival and transmitter availability counts as shaper-added delay.
+		// Borrow times are non-decreasing per arrival order, so per-link done
+		// times stay monotonic and the precomputed-arrival reasoning below
+		// still holds.
+		if conformAt := l.shaper.Borrow(now, pkt.Size); conformAt > start {
+			l.stats.ShaperDelayed++
+			l.probes.ShaperDelay(now, l.Name, pkt.Size, conformAt-start)
+			start = conformAt
+		}
 	}
 	done := start + txTime
 	l.busyUntil = done

@@ -88,6 +88,8 @@ func (jw *JSONLWriter) Close() error {
 //	ack-compress: t, kind, link, defer_s
 //	rack-mark:    t, kind, flow, sf, bytes, reo_wnd_s
 //	spurious-retx: t, kind, flow, sf, bytes, rto
+//	shaper-delay: t, kind, link, bytes, delay_s
+//	handover:     t, kind, link, rate_bps, delay_s
 func AppendEvent(b []byte, e Event) []byte {
 	b = append(b, `{"t":`...)
 	b = strconv.AppendInt(b, int64(e.At), 10)
@@ -146,6 +148,14 @@ func AppendEvent(b []byte, e Event) []byte {
 		b = appendFlowSF(b, e)
 		b = appendInt(b, "bytes", e.Bytes)
 		b = appendInt(b, "rto", int64(e.Aux))
+	case KindShaperDelay:
+		b = appendStr(b, "link", e.Link)
+		b = appendInt(b, "bytes", e.Bytes)
+		b = appendFloat(b, "delay_s", e.Value)
+	case KindHandover:
+		b = appendStr(b, "link", e.Link)
+		b = appendFloat(b, "rate_bps", e.Value)
+		b = appendFloat(b, "delay_s", e.Aux)
 	}
 	return append(b, '}', '\n')
 }
@@ -213,6 +223,7 @@ type jsonEvent struct {
 	DeferS   float64  `json:"defer_s"`
 	ReoWndS  float64  `json:"reo_wnd_s"`
 	RTOFlag  float64  `json:"rto"`
+	DelayS   float64  `json:"delay_s"`
 }
 
 // ParseEvent decodes one JSONL trace line back into an Event.
@@ -265,6 +276,12 @@ func ParseEvent(line []byte) (Event, error) {
 	case KindSpuriousRetx:
 		e.Bytes = je.Bytes
 		e.Aux = je.RTOFlag
+	case KindShaperDelay:
+		e.Bytes = je.Bytes
+		e.Value = je.DelayS
+	case KindHandover:
+		e.Value = je.RateBps
+		e.Aux = je.DelayS
 	}
 	return e, nil
 }

@@ -30,6 +30,8 @@ type Registry struct {
 	ackCompress  *Counter
 	rackMarks    *Counter
 	spuriousRetx *Counter
+	shaperDelays *Counter
+	handovers    *Counter
 	miByPhase    map[string]*Counter
 	queueDepth   *Histogram
 	utility      *Histogram
@@ -60,6 +62,8 @@ func NewRegistry() *Registry {
 	r.ackCompress = r.Counter("ack_compressions")
 	r.rackMarks = r.Counter("rack_marks")
 	r.spuriousRetx = r.Counter("spurious_retx")
+	r.shaperDelays = r.Counter("shaper_delays")
+	r.handovers = r.Counter("handovers")
 	r.queueDepth = r.Histogram("queue_depth_bytes")
 	r.utility = r.Histogram("utility")
 	return r
@@ -140,6 +144,10 @@ func (r *Registry) Record(e Event) {
 		r.rackMarks.Inc()
 	case KindSpuriousRetx:
 		r.spuriousRetx.Inc()
+	case KindShaperDelay:
+		r.shaperDelays.Inc()
+	case KindHandover:
+		r.handovers.Inc()
 	}
 }
 

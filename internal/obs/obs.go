@@ -86,6 +86,14 @@ const (
 	// declaration spurious: the original arrived after all. Bytes is the
 	// packet size, Aux 1 when the spurious mark came from an RTO.
 	KindSpuriousRetx
+	// KindShaperDelay is a token-bucket shaper deferring a packet's
+	// serialization until the bucket refills (netem shaper impairment).
+	// Bytes is the packet size, Value the added delay in seconds.
+	KindShaperDelay
+	// KindHandover is a scheduled LEO-style handover stepping a link to a
+	// new rate and base delay. Value is the new rate in bits/s, Aux the new
+	// one-way propagation delay in seconds.
+	KindHandover
 
 	numKinds
 )
@@ -94,7 +102,7 @@ var kindNames = [numKinds]string{
 	"mi-decision", "utility", "rate-change", "drop", "queue-depth",
 	"retransmit", "rto-backoff", "subflow-down", "subflow-up", "sched-pick",
 	"run-start", "run-end", "reorder", "duplicate", "ack-compress",
-	"rack-mark", "spurious-retx",
+	"rack-mark", "spurious-retx", "shaper-delay", "handover",
 }
 
 func (k Kind) String() string {
@@ -124,11 +132,12 @@ const (
 	CauseRandom                     // i.i.d. non-congestion loss
 	CauseOutage                     // link down or stalled at zero rate
 	CauseBurst                      // Gilbert–Elliott bad-state burst loss
+	CausePolicer                    // token-bucket policer deficit (non-queue-building)
 
 	numCauses
 )
 
-var causeNames = [numCauses]string{"queue-full", "random", "outage", "burst"}
+var causeNames = [numCauses]string{"queue-full", "random", "outage", "burst", "policer"}
 
 func (c DropCause) String() string {
 	if int(c) < len(causeNames) {
@@ -372,4 +381,22 @@ func (b *Bus) SpuriousRetx(at sim.Time, flow string, sf int, bytes int, wasRTO b
 		aux = 1
 	}
 	b.Emit(Event{At: at, Kind: KindSpuriousRetx, Flow: flow, Subflow: int32(sf), Bytes: int64(bytes), Aux: aux})
+}
+
+// ShaperDelay records a token-bucket shaper deferring a packet's
+// serialization by d while the bucket refills.
+func (b *Bus) ShaperDelay(at sim.Time, link string, bytes int, d sim.Time) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindShaperDelay, Link: link, Subflow: -1, Bytes: int64(bytes), Value: d.Seconds()})
+}
+
+// Handover records a scheduled handover stepping a link to a new rate and
+// base one-way delay (LEO-style path churn).
+func (b *Bus) Handover(at sim.Time, link string, rateBps float64, delay sim.Time) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindHandover, Link: link, Subflow: -1, Value: rateBps, Aux: delay.Seconds()})
 }

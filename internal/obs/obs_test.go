@@ -30,6 +30,8 @@ func emitAll(b *Bus) {
 	b.AckCompress(14e6, "[wifi]", sim.Time(2e6))
 	b.RackMark(15e6, "flowA", 1, 1400, sim.Time(5e6))
 	b.SpuriousRetx(16e6, "flowA", 1, 1400, true)
+	b.ShaperDelay(17e6, "wifi", 1500, sim.Time(4e6))
+	b.Handover(18e6, "leo", 25e6, sim.Time(30e6))
 }
 
 func TestNilBusHelpersAreNoOpsAndAllocationFree(t *testing.T) {

@@ -2,8 +2,10 @@ package simtest
 
 import (
 	"fmt"
+	"sort"
 
 	"mpcc/internal/exp"
+	"mpcc/internal/netem"
 	"mpcc/internal/obs"
 	"mpcc/internal/sim"
 	"mpcc/internal/topo"
@@ -24,6 +26,9 @@ const (
 	InvDelivery      = "expect-delivery"   // flagged file flows complete by the horizon
 	InvCleanLoss     = "clean-loss"        // zero corrected loss on lossless reordered paths
 	InvProgressStall = "progress-stall"    // no delivery gap beyond k·RTO on lossless paths
+	InvPolicerEnv    = "policer-envelope"  // policed bytes within the rate/burst contract
+	InvHandoverSched = "handover-schedule" // handovers fire exactly on their scheduled instants
+	InvTraceEnv      = "trace-envelope"    // trace-replay links never deliver beyond the traced rate
 	InvTraceDetermin = "trace-determinism" // same scenario ⇒ same trace hash
 	InvParallelIdent = "parallel-identity" // sequential and parallel execution agree
 )
@@ -90,6 +95,14 @@ type Oracle struct {
 	// non-zero corrected loss or a recovery stall legitimate.
 	expectCleanLoss map[string]bool     // flow → corrected loss must be 0 once complete
 	expectProgress  map[string]sim.Time // flow → max tolerated delivery gap
+
+	// Adversarial-path expectations. expectHandover holds, per link, the
+	// sorted virtual times its scheduled handovers must fire at — each
+	// handover event pops its head, leftovers are violations at Finalize.
+	// polEnv overrides the contract-derived policer-conformance envelope per
+	// link (the injected-violation hook, mirroring bufBound).
+	expectHandover map[string][]sim.Time
+	polEnv         map[string]float64
 }
 
 // NewOracle returns an oracle with no flow-specific knowledge; register
@@ -102,7 +115,25 @@ func NewOracle() *Oracle {
 		expectDelivery:  make(map[string]int64),
 		expectCleanLoss: make(map[string]bool),
 		expectProgress:  make(map[string]sim.Time),
+		expectHandover:  make(map[string][]sim.Time),
+		polEnv:          make(map[string]float64),
 	}
+}
+
+// expectHandovers registers the exact virtual times link must execute a
+// handover at. Multiple registrations merge; times are kept sorted so the
+// live check can pop arrivals in time order.
+func (o *Oracle) expectHandovers(link string, times []sim.Time) {
+	merged := append(o.expectHandover[link], times...)
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	o.expectHandover[link] = merged
+}
+
+// OverridePolicerEnvelope pins the policer-conformance envelope for a link
+// in bytes, replacing the contract-derived bound — the injected-violation
+// hook, mirroring OverrideBufferBound.
+func (o *Oracle) OverridePolicerEnvelope(link string, bytes float64) {
+	o.polEnv[link] = bytes
 }
 
 // ExpectRateBounds registers the [min, max] bits/s envelope every
@@ -211,6 +242,47 @@ func (o *Oracle) Emit(e obs.Event) {
 			o.report(InvRateBounds, e.At, "%s rate %.0f outside [%.0f, %.0f] (%v)",
 				e.Flow, e.Value, b.min, b.max, e.Kind)
 		}
+	case obs.KindHandover:
+		times, ok := o.expectHandover[e.Link]
+		if !ok {
+			return // no schedule registered for this link; nothing to check
+		}
+		switch {
+		case len(times) == 0:
+			o.report(InvHandoverSched, e.At, "link %s handover with none left on the schedule", e.Link)
+		case times[0] != e.At:
+			o.report(InvHandoverSched, e.At, "link %s handover at %v, schedule says %v", e.Link, e.At, times[0])
+			o.expectHandover[e.Link] = times[1:] // consume anyway so one slip doesn't cascade
+		default:
+			o.expectHandover[e.Link] = times[1:]
+		}
+	}
+}
+
+// armTraceEnvelope schedules one delivered-bytes audit per trace segment of
+// a trace-replay link: during [at+i·dur, at+(i+1)·dur) the link serializes
+// at the i-th traced rate, so the bytes it delivers in that window cannot
+// exceed the traced budget plus the backlog it may still drain across the
+// boundary (one buffer's worth admitted at the pre-step rate) and MTU
+// rounding at both edges. The audits read link counters only and emit no
+// probe events, so the replay trace hash is untouched.
+func armTraceEnvelope(eng *sim.Engine, o *Oracle, l *netem.Link, name string,
+	at, dur sim.Time, rates []float64, bufBytes int) {
+	var lastDelivered uint64
+	eng.At(at, func() { lastDelivered = l.Stats().DeliveredBytes })
+	for i, mbps := range rates {
+		mbps := mbps
+		end := at + sim.Time(i+1)*dur
+		budget := mbps*1e6*dur.Seconds()/8 + float64(bufBytes) + 2*pktSlack
+		eng.At(end, func() {
+			d := l.Stats().DeliveredBytes
+			if float64(d-lastDelivered) > budget {
+				o.report(InvTraceEnv, end,
+					"link %s delivered %d bytes in a %v segment traced at %g Mbps (budget %.0f)",
+					name, d-lastDelivered, dur, mbps, budget)
+			}
+			lastDelivered = d
+		})
 	}
 }
 
@@ -221,7 +293,7 @@ func (o *Oracle) Finalize(res *exp.Result) []Violation {
 		for _, name := range res.Net.LinkNames() {
 			l := res.Net.Link(name)
 			st := l.Stats()
-			drops := st.DropsQueueFull + st.DropsRandom + st.DropsOutage + st.DropsBurst
+			drops := st.DropsQueueFull + st.DropsRandom + st.DropsOutage + st.DropsBurst + st.DropsPolicer
 			injected := st.EnqueuedBytes // admitted bytes; drops never enter the queue
 			if delivered, queued := st.DeliveredBytes, uint64(l.QueuedBytes()); injected != delivered+queued {
 				o.report(InvConservation, 0,
@@ -232,6 +304,31 @@ func (o *Oracle) Finalize(res *exp.Result) []Violation {
 				o.report(InvQueueBound, 0, "link %s occupancy high-water %d exceeds bound %d",
 					name, l.MaxQueuedBytes(), bound)
 			}
+			// Policer conformance: the contract admits at most one full bucket
+			// plus the refill over the whole horizon; passing more means the
+			// bucket under-charged (drops fell short of the token deficit).
+			rate, burst, on := l.Policer()
+			envelope, pinned := o.polEnv[name]
+			if !pinned && on && o.horizon > 0 {
+				envelope, pinned = float64(burst)+rate*o.horizon.Seconds()/8+pktSlack, true
+			}
+			if pinned && float64(st.PolicerPassedBytes) > envelope {
+				o.report(InvPolicerEnv, 0,
+					"link %s: policer passed %d bytes, contract envelope %.0f (rate %.0f bps, burst %d)",
+					name, st.PolicerPassedBytes, envelope, rate, burst)
+			}
+		}
+	}
+	handoverLinks := make([]string, 0, len(o.expectHandover))
+	for link := range o.expectHandover {
+		handoverLinks = append(handoverLinks, link)
+	}
+	sort.Strings(handoverLinks)
+	for _, link := range handoverLinks {
+		if times := o.expectHandover[link]; len(times) > 0 {
+			o.report(InvHandoverSched, 0,
+				"link %s: %d scheduled handovers never fired (next was due at %v)",
+				link, len(times), times[0])
 		}
 	}
 	for name, conn := range res.Conns {
@@ -262,7 +359,7 @@ func (o *Oracle) Finalize(res *exp.Result) []Violation {
 		var drops uint64
 		for _, name := range res.Net.LinkNames() {
 			st := res.Net.Link(name).Stats()
-			drops += st.DropsQueueFull + st.DropsRandom + st.DropsOutage + st.DropsBurst
+			drops += st.DropsQueueFull + st.DropsRandom + st.DropsOutage + st.DropsBurst + st.DropsPolicer
 		}
 		// With any real drop the checks below don't apply: a genuinely lost
 		// packet is correctly counted as lost, and its recovery may stall.

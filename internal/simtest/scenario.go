@@ -41,10 +41,21 @@ type LinkSpec struct {
 	ReorderGap  int     `json:"reoGap,omitempty"`   // every Gap-th packet reorders
 	ReoEarlyMs  float64 `json:"reoEarly,omitempty"` // cap on early arrival
 	DupPct      float64 `json:"dup,omitempty"`      // duplication probability ×100
+	// Token-bucket contracts (DESIGN.md "Adversarial path model"): a
+	// policer drops nonconforming packets with zero added delay, a shaper
+	// defers them until the bucket refills. Rate 0 = disabled.
+	PolicerMbps  float64 `json:"polRate,omitempty"`
+	PolicerBurst int     `json:"polBurst,omitempty"` // bytes
+	ShaperMbps   float64 `json:"shpRate,omitempty"`
+	ShaperBurst  int     `json:"shpBurst,omitempty"` // bytes
 }
 
 // reorders reports whether either reorder trigger is configured.
 func (l LinkSpec) reorders() bool { return l.ReorderPct > 0 || l.ReorderGap > 0 }
+
+// policed and shaped report whether a token-bucket contract is configured.
+func (l LinkSpec) policed() bool { return l.PolicerMbps > 0 }
+func (l LinkSpec) shaped() bool  { return l.ShaperMbps > 0 }
 
 // FlowSpec declares one connection: its protocol, one link-index path per
 // subflow, an optional start offset and file size (0 = bulk), and whether
@@ -72,10 +83,12 @@ func (f FlowSpec) ackImpaired() bool {
 
 // Fault kinds of FaultSpec.
 const (
-	FaultOutage = "outage" // link blackholed for DurMs
-	FaultFlaps  = "flaps"  // Cycles × (down DurMs, up UpMs)
-	FaultBurst  = "burst"  // Gilbert–Elliott burst loss for DurMs
-	FaultRate   = "rate"   // bandwidth cut to RateMbps for DurMs
+	FaultOutage   = "outage"   // link blackholed for DurMs
+	FaultFlaps    = "flaps"    // Cycles × (down DurMs, up UpMs)
+	FaultBurst    = "burst"    // Gilbert–Elliott burst loss for DurMs
+	FaultRate     = "rate"     // bandwidth cut to RateMbps for DurMs
+	FaultHandover = "handover" // Cycles LEO handovers every DurMs, alternating base ↔ (RateMbps, DelayMs)
+	FaultTrace    = "trace"    // bandwidth trace replay: Trace rates stepping every DurMs, then base restored
 )
 
 // FaultSpec schedules one deterministic fault on a link.
@@ -83,19 +96,41 @@ type FaultSpec struct {
 	Kind     string  `json:"kind"`
 	Link     int     `json:"link"`
 	AtMs     float64 `json:"at"`
-	DurMs    float64 `json:"dur"`
+	DurMs    float64 `json:"dur"` // handover/trace: the step period
 	Cycles   int     `json:"n,omitempty"`
 	UpMs     float64 `json:"up,omitempty"`
 	RateMbps float64 `json:"rate,omitempty"`
 	Severity float64 `json:"sev,omitempty"` // burst badness in (0,1]
+	// Handover alternate state: each step swaps the link between its base
+	// (RateMbps/DelayMs of the LinkSpec) and this rate/delay pair.
+	DelayMs float64 `json:"delayMs,omitempty"`
+	// Trace samples in Mbps, one per DurMs step starting at AtMs; after the
+	// last step the base rate is restored (the trace plays exactly once).
+	Trace []float64 `json:"trace,omitempty"`
 }
 
 // EndMs returns when the fault's last scheduled change fires.
 func (f FaultSpec) EndMs() float64 {
-	if f.Kind == FaultFlaps {
+	switch f.Kind {
+	case FaultFlaps:
 		return f.AtMs + float64(f.Cycles)*(f.DurMs+f.UpMs)
+	case FaultHandover:
+		return f.AtMs + float64(f.Cycles-1)*f.DurMs
+	case FaultTrace:
+		return f.AtMs + float64(len(f.Trace))*f.DurMs
 	}
 	return f.AtMs + f.DurMs
+}
+
+// ratesAffecting reports whether the fault rewrites the link's serialization
+// rate. Outages, flaps and burst loss only suppress delivery, which cannot
+// break an upper-bound delivery envelope.
+func (f FaultSpec) ratesAffecting() bool {
+	switch f.Kind {
+	case FaultRate, FaultHandover, FaultTrace:
+		return true
+	}
+	return false
 }
 
 // Scenario is one fully deterministic simulation configuration. It is a
@@ -115,13 +150,15 @@ func (s Scenario) Duration() sim.Time { return sim.FromSeconds(s.DurationMs / 10
 // ReorderOnly reports whether at least one link reorders while nothing in
 // the configuration can destroy a packet except drop-tail overflow: no
 // random or burst loss, no duplication (duplicates claim buffer space and
-// can evict originals), no faults. On such scenarios the hostile-path
-// oracles apply: if the run also records zero drops, every loss declaration
-// is spurious and must be repaired, and forward progress must never stall.
+// can evict originals), no token buckets (a policer destroys nonconforming
+// packets outright; a shaper can defer delivery past the progress bound
+// under deficit), no faults. On such scenarios the hostile-path oracles
+// apply: if the run also records zero drops, every loss declaration is
+// spurious and must be repaired, and forward progress must never stall.
 func (s Scenario) ReorderOnly() bool {
 	reordered := false
 	for _, l := range s.Links {
-		if l.LossPct > 0 || l.DupPct > 0 {
+		if l.LossPct > 0 || l.DupPct > 0 || l.policed() || l.shaped() {
 			return false
 		}
 		if l.reorders() {
@@ -129,6 +166,19 @@ func (s Scenario) ReorderOnly() bool {
 		}
 	}
 	return reordered && len(s.Faults) == 0
+}
+
+// soleRateFault reports whether fault idx is the only rate-rewriting fault
+// on its link. Only then can the trace-envelope oracle bound the link's
+// delivered bytes by the traced rates alone — a concurrent rate or handover
+// fault could lift the rate mid-trace and legitimately beat the envelope.
+func (s Scenario) soleRateFault(idx int) bool {
+	for j, g := range s.Faults {
+		if j != idx && g.Link == s.Faults[idx].Link && g.ratesAffecting() {
+			return false
+		}
+	}
+	return true
 }
 
 // FlowName returns the deterministic name of flow i ("f0", "f1", …).
@@ -174,6 +224,9 @@ func (s Scenario) Validate() error {
 			l.ReorderGap < 0 || l.ReoEarlyMs < 0 || l.DupPct < 0 || l.DupPct > 100 {
 			return fmt.Errorf("simtest: link %d has invalid impairments %+v", i, l)
 		}
+		if l.PolicerMbps < 0 || l.PolicerBurst < 0 || l.ShaperMbps < 0 || l.ShaperBurst < 0 {
+			return fmt.Errorf("simtest: link %d has invalid token-bucket contract %+v", i, l)
+		}
 	}
 	if len(s.Flows) == 0 {
 		return fmt.Errorf("simtest: no flows")
@@ -203,6 +256,23 @@ func (s Scenario) Validate() error {
 		if f.AtMs < 0 || f.DurMs < 0 {
 			return fmt.Errorf("simtest: fault %d scheduled in the past %+v", i, f)
 		}
+		switch f.Kind {
+		case FaultHandover:
+			// DurMs is the step period (ScheduleHandovers panics on zero) and
+			// the alternate state must be a live link.
+			if f.DurMs <= 0 || f.Cycles < 1 || f.RateMbps <= 0 || f.DelayMs < 0 {
+				return fmt.Errorf("simtest: handover fault %d has invalid schedule %+v", i, f)
+			}
+		case FaultTrace:
+			if f.DurMs <= 0 || len(f.Trace) == 0 {
+				return fmt.Errorf("simtest: trace fault %d has no samples or no step period %+v", i, f)
+			}
+			for _, mbps := range f.Trace {
+				if mbps < 0 {
+					return fmt.Errorf("simtest: trace fault %d has negative rate %g", i, mbps)
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -230,6 +300,12 @@ func (s Scenario) String() string {
 		}
 		if l.DupPct > 0 {
 			fmt.Fprintf(&b, "/dup%.0f%%", l.DupPct)
+		}
+		if l.policed() {
+			fmt.Fprintf(&b, "/pol%.0fMbps", l.PolicerMbps)
+		}
+		if l.shaped() {
+			fmt.Fprintf(&b, "/shp%.0fMbps", l.ShaperMbps)
 		}
 	}
 	b.WriteString("] flows=[")
@@ -310,6 +386,19 @@ func FromSeed(seed int64) Scenario {
 		if rng.Float64() < 0.15 {
 			l.DupPct = rng.Float64() * 10
 		}
+		if rng.Float64() < 0.12 {
+			// Token-bucket contract below the wire rate, so the bucket — not
+			// drop-tail — binds. Bursts from two MTUs up to one contract BDP;
+			// the floor keeps a policed flow startable.
+			cRate := rate * (0.45 + rng.Float64()*0.45)
+			cBDP := cRate * 1e6 * delay / 1000 / 8
+			burst := 3000 + rng.Intn(int(cBDP)+1500)
+			if rng.Float64() < 0.5 {
+				l.PolicerMbps, l.PolicerBurst = cRate, burst
+			} else {
+				l.ShaperMbps, l.ShaperBurst = cRate, burst
+			}
+		}
 		s.Links = append(s.Links, l)
 	}
 
@@ -356,7 +445,7 @@ func FromSeed(seed int64) Scenario {
 		f := FaultSpec{Link: rng.Intn(nLinks)}
 		f.AtMs = (0.15 + rng.Float64()*0.3) * s.DurationMs
 		budget := 0.55*s.DurationMs - f.AtMs // all faults end by 55% of the run
-		switch rng.Intn(4) {
+		switch rng.Intn(6) {
 		case 0:
 			f.Kind = FaultOutage
 			f.DurMs = 100 + rng.Float64()*500
@@ -378,8 +467,31 @@ func FromSeed(seed int64) Scenario {
 			f.Kind = FaultRate
 			f.DurMs = 150 + rng.Float64()*450
 			f.RateMbps = s.Links[f.Link].RateMbps * (0.3 + rng.Float64()*0.5)
+		case 4:
+			// LEO handover cycle: an even step count returns the link to its
+			// base state, so post-fault expectations stay valid.
+			f.Kind = FaultHandover
+			f.Cycles = 2 * (1 + rng.Intn(2))
+			f.DurMs = 120 + rng.Float64()*230
+			f.RateMbps = s.Links[f.Link].RateMbps * (0.4 + rng.Float64()*0.8)
+			f.DelayMs = s.Links[f.Link].DelayMs * (0.7 + rng.Float64()*0.8)
+			if span := float64(f.Cycles-1) * f.DurMs; span > budget {
+				f.DurMs = budget / float64(f.Cycles-1)
+			}
+		case 5:
+			// Bandwidth-trace replay: a short random walk around the base
+			// rate, restored when the trace runs out.
+			f.Kind = FaultTrace
+			f.DurMs = 80 + rng.Float64()*170
+			n := 3 + rng.Intn(4)
+			for j := 0; j < n; j++ {
+				f.Trace = append(f.Trace, s.Links[f.Link].RateMbps*(0.3+rng.Float64()*0.8))
+			}
+			if span := float64(len(f.Trace)) * f.DurMs; span > budget {
+				f.DurMs = budget / float64(len(f.Trace))
+			}
 		}
-		if f.Kind != FaultFlaps && f.DurMs > budget {
+		if f.Kind != FaultFlaps && f.Kind != FaultHandover && f.Kind != FaultTrace && f.DurMs > budget {
 			f.DurMs = budget
 		}
 		s.Faults = append(s.Faults, f)
@@ -450,7 +562,10 @@ func (s *Scenario) markExpectations() {
 				// and heavy reordering drags completion through repeated
 				// spurious recoveries, so neither qualifies for a hard
 				// delivery deadline.
-				if burstLink[li] || l.LossPct > 1 || l.DupPct > 0 || l.ReorderPct > 15 {
+				// A policer discards the file's own bursts and a shaper can
+				// hold them in deficit, so neither qualifies either.
+				if burstLink[li] || l.LossPct > 1 || l.DupPct > 0 || l.ReorderPct > 15 ||
+					l.policed() || l.shaped() {
 					clean = false
 				}
 			}
@@ -530,9 +645,15 @@ func (s Scenario) buildSpec(bus *obs.Bus, o *Oracle) exp.Spec {
 			if ls.DupPct > 0 {
 				l.SetDuplicate(ls.DupPct / 100)
 			}
+			if ls.policed() {
+				l.SetPolicer(ls.PolicerMbps*1e6, ls.PolicerBurst)
+			}
+			if ls.shaped() {
+				l.SetShaper(ls.ShaperMbps*1e6, ls.ShaperBurst)
+			}
 		}
 		fi := netem.NewFaultInjector(net.Eng)
-		for _, f := range s.Faults {
+		for fidx, f := range s.Faults {
 			l := net.Link(linkNames[f.Link])
 			at := sim.FromSeconds(f.AtMs / 1000)
 			dur := sim.FromSeconds(f.DurMs / 1000)
@@ -548,6 +669,39 @@ func (s Scenario) buildSpec(bus *obs.Bus, o *Oracle) exp.Spec {
 				cut := f.RateMbps * 1e6
 				net.Eng.At(at, func() { l.SetRate(cut) })
 				net.Eng.At(at+dur, func() { l.SetRate(orig) })
+			case FaultHandover:
+				// Steps alternate alternate-state ↔ base-state, so an even
+				// cycle count leaves the link where it started.
+				base := s.Links[f.Link]
+				steps := []netem.HandoverStep{
+					{RateBps: f.RateMbps * 1e6, Delay: sim.FromSeconds(f.DelayMs / 1000)},
+					{RateBps: base.RateMbps * 1e6, Delay: sim.FromSeconds(base.DelayMs / 1000)},
+				}
+				netem.ScheduleHandovers(net.Eng, l, steps, at, dur, f.Cycles)
+				if o != nil {
+					// The oracle holds the exact fire times; every handover
+					// event must land on one, and all must fire by the horizon.
+					times := make([]sim.Time, 0, f.Cycles)
+					for i := 0; i < f.Cycles; i++ {
+						if t := at + sim.Time(i)*dur; t < s.Duration() {
+							times = append(times, t)
+						}
+					}
+					o.expectHandovers(linkNames[f.Link], times)
+				}
+			case FaultTrace:
+				pts := make([]netem.RatePoint, 0, len(f.Trace)+1)
+				for i, mbps := range f.Trace {
+					pts = append(pts, netem.RatePoint{At: at + sim.Time(i)*dur, RateBps: mbps * 1e6})
+				}
+				// The trace plays once; its end restores the base rate.
+				end := at + sim.Time(len(f.Trace))*dur
+				pts = append(pts, netem.RatePoint{At: end, RateBps: s.Links[f.Link].RateMbps * 1e6})
+				netem.ScheduleRates(net.Eng, l, pts, 0)
+				if o != nil && s.soleRateFault(fidx) {
+					armTraceEnvelope(net.Eng, o, l, linkNames[f.Link],
+						at, dur, f.Trace, s.Links[f.Link].BufBytes)
+				}
 			}
 		}
 		if o != nil {

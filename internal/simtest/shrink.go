@@ -147,6 +147,24 @@ func shrinkOnce(sc Scenario, target string, keepLinks bool, fails func(Scenario)
 			return c, true
 		}
 	}
+	if anyPolicer(sc) {
+		c := clone(sc)
+		for i := range c.Links {
+			c.Links[i].PolicerMbps, c.Links[i].PolicerBurst = 0, 0
+		}
+		if fails(c) {
+			return c, true
+		}
+	}
+	if anyShaper(sc) {
+		c := clone(sc)
+		for i := range c.Links {
+			c.Links[i].ShaperMbps, c.Links[i].ShaperBurst = 0, 0
+		}
+		if fails(c) {
+			return c, true
+		}
+	}
 	for i, f := range sc.Flows {
 		if f.ackImpaired() {
 			c := clone(sc)
@@ -182,6 +200,9 @@ func clone(sc Scenario) Scenario {
 		}
 	}
 	c.Faults = append([]FaultSpec(nil), sc.Faults...)
+	for i := range c.Faults {
+		c.Faults[i].Trace = append([]float64(nil), sc.Faults[i].Trace...)
+	}
 	return c
 }
 
@@ -275,6 +296,24 @@ func anyReorder(sc Scenario) bool {
 func anyDup(sc Scenario) bool {
 	for _, l := range sc.Links {
 		if l.DupPct > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func anyPolicer(sc Scenario) bool {
+	for _, l := range sc.Links {
+		if l.policed() {
+			return true
+		}
+	}
+	return false
+}
+
+func anyShaper(sc Scenario) bool {
+	for _, l := range sc.Links {
+		if l.shaped() {
 			return true
 		}
 	}

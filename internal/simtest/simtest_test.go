@@ -335,6 +335,17 @@ func TestValidateRejects(t *testing.T) {
 		"bad reorder":   func(s *Scenario) { s.Links[0].ReorderPct = 150 },
 		"bad dup":       func(s *Scenario) { s.Links[0].DupPct = -1 },
 		"bad ack":       func(s *Scenario) { s.Flows[0].AckJitterMs = -1 },
+		"neg policer":   func(s *Scenario) { s.Links[0].PolicerMbps = -1 },
+		"neg shaper":    func(s *Scenario) { s.Links[0].ShaperBurst = -1 },
+		"bad handover": func(s *Scenario) {
+			s.Faults = []FaultSpec{{Kind: FaultHandover, Link: 0, AtMs: 100, DurMs: 0, Cycles: 2, RateMbps: 5}}
+		},
+		"empty trace": func(s *Scenario) {
+			s.Faults = []FaultSpec{{Kind: FaultTrace, Link: 0, AtMs: 100, DurMs: 50}}
+		},
+		"neg trace rate": func(s *Scenario) {
+			s.Faults = []FaultSpec{{Kind: FaultTrace, Link: 0, AtMs: 100, DurMs: 50, Trace: []float64{5, -1}}}
+		},
 	}
 	for name, mutate := range cases {
 		s := clone(ok)

@@ -230,6 +230,23 @@ func Fig4b() *Topology {
 	}
 }
 
+// SharedBottleneck: one multipath connection whose two subflows enter on
+// disjoint access links but then traverse a single common link — the
+// adversarial shared-bottleneck shape for policer/shaper studies. Links
+// build with paper defaults; experiments overprovision the access links
+// and attach a token-bucket policer or shaper to the shared one via Tweak,
+// making it the sole contention point. Not a parallel-link network: the
+// LMMF abstraction cannot express the serial hop.
+func SharedBottleneck() *Topology {
+	return &Topology{
+		Name:  "shared-bottleneck",
+		Links: []string{"access1", "access2", "shared"},
+		Flows: []FlowDef{
+			{Name: "mp", Paths: [][]string{{"access1", "shared"}, {"access2", "shared"}}},
+		},
+	}
+}
+
 // ConvergenceSuite returns the five topologies of Fig. 10.
 func ConvergenceSuite() []*Topology {
 	return []*Topology{Fig3a(), Fig3c(), Fig3d(), Fig3e(), Fig4b()}

@@ -94,6 +94,15 @@ type (
 	JSONLWriter = obs.JSONLWriter
 	// QueueProbe exposes one link's queue depth to SampleQueues.
 	QueueProbe = obs.QueueProbe
+	// TokenBucket meters bytes against a rate/burst contract (the model
+	// behind Link.SetPolicer and Link.SetShaper).
+	TokenBucket = netem.TokenBucket
+	// HandoverStep is one rate/delay state of an LEO handover schedule.
+	HandoverStep = netem.HandoverStep
+	// BWTrace is a recorded bandwidth timeseries for trace-replay links.
+	BWTrace = netem.BWTrace
+	// RatePoint is one (time, rate) sample of a BWTrace or rate schedule.
+	RatePoint = netem.RatePoint
 )
 
 // Time units.
@@ -125,6 +134,31 @@ const (
 
 // NewEngine returns a simulation engine seeded deterministically.
 func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
+
+// NewTokenBucket returns a token bucket that starts full at now (see
+// Link.SetPolicer / Link.SetShaper for attaching contracts to links).
+func NewTokenBucket(rateBps float64, burstBytes int, now Time) *TokenBucket {
+	return netem.NewTokenBucket(rateBps, burstBytes, now)
+}
+
+// ScheduleHandovers applies an LEO handover schedule to a link: count steps
+// from start, one every period, cycling through steps. Returns a stop func.
+func ScheduleHandovers(eng *Engine, l *Link, steps []HandoverStep, start, period Time, count int) (stop func()) {
+	return netem.ScheduleHandovers(eng, l, steps, start, period, count)
+}
+
+// ScheduleRates drives a link's rate from (time, rate) samples, looping
+// with the given period (0 = play once).
+func ScheduleRates(eng *Engine, l *Link, points []RatePoint, loop Time) (stop func()) {
+	return netem.ScheduleRates(eng, l, points, loop)
+}
+
+// ParseBWTrace reads a bandwidth trace from CSV ("time_s,rate_mbps" rows,
+// # comments and one optional header allowed).
+func ParseBWTrace(r io.Reader) (*BWTrace, error) { return netem.ParseBWTrace(r) }
+
+// ParseBWTraceString parses a bandwidth trace held in a string.
+func ParseBWTraceString(s string) (*BWTrace, error) { return netem.ParseBWTraceString(s) }
 
 // NewFaultInjector returns an injector scheduling link faults on eng's
 // clock. Every method returns a stop function cancelling the rest of its
