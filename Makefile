@@ -32,8 +32,10 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_results.json
 
 # Bench-regression gate: re-run the suite and fail if any benchmark's ns/op
-# or allocs/op grew more than GATE_PCT% over the committed BENCH_results.json
-# (refresh the baseline with `make bench` when a slowdown is intentional).
+# or allocs/op grew — or a custom work metric such as events/op shrank —
+# more than GATE_PCT% over the committed BENCH_results.json (refresh the
+# baseline with `make bench` when a slowdown is intentional). The gate also
+# refuses to compare runs whose GOMAXPROCS differs from the baseline's.
 GATE_PCT ?= 10
 bench-gate:
 	$(GO) test -run '^$$' -bench . -benchmem . | \
@@ -51,6 +53,7 @@ simtest:
 
 # Short fuzz pass over every native fuzz target.
 fuzz:
+	$(GO) test ./internal/sim -fuzz FuzzTimingWheel -fuzztime 10s
 	$(GO) test ./internal/fairness -fuzz FuzzParse -fuzztime 10s
 	$(GO) test ./internal/transport -fuzz FuzzRangeSet -fuzztime 10s
 	$(GO) test ./internal/transport -fuzz FuzzFaultTimeline -fuzztime 10s

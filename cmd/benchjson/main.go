@@ -14,10 +14,16 @@
 //
 // With -gate, the freshly parsed results are additionally compared against
 // a baseline BENCH_results.json: any benchmark whose ns/op or allocs/op
-// grew by more than -gate-pct percent over the baseline fails the run with
-// a nonzero exit — the CI bench-regression gate. Benchmarks absent from the
+// grew — or whose custom work metric (events/op and friends) shrank — by
+// more than -gate-pct percent over the baseline fails the run with a
+// nonzero exit — the CI bench-regression gate. Benchmarks absent from the
 // baseline are reported as new and pass; benchmarks that vanished are
 // reported and pass (renames should update the baseline, not fail CI).
+//
+// The gate also audits comparability: a GOMAXPROCS mismatch between the
+// baseline meta and the current run refuses to gate (the numbers are not
+// comparable; refresh the baseline on the right machine), and a Go-version
+// mismatch warns.
 //
 // Usage:
 //
@@ -97,15 +103,43 @@ func parseBenchLine(line string) (name string, metrics map[string]float64, ok bo
 	return name, metrics, true
 }
 
-// gateMetrics are the per-benchmark metrics the regression gate watches:
+// costMetrics are the per-benchmark metrics where growth is a regression:
 // ns/op is throughput (inverted), allocs/op is allocation discipline. B/op
-// is deliberately excluded — it tracks allocs/op and double-reports.
-var gateMetrics = []string{"ns/op", "allocs/op"}
+// is deliberately excluded — it tracks allocs/op and double-reports. Every
+// other unit (custom b.ReportMetric columns such as events/op) is treated
+// as a work metric where *shrinkage* is the regression: a benchmark that
+// silently does less work per op would otherwise launder an ns/op win.
+var costMetrics = []string{"ns/op", "allocs/op"}
+
+func isCostMetric(m string) bool {
+	for _, c := range costMetrics {
+		if m == c {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMeta audits whether baseline and current runs are comparable. A
+// GOMAXPROCS mismatch is a hard error (parallel benchmarks scale with it, so
+// the percentages are meaningless); a Go-version mismatch only warns. Empty
+// baseline meta (a pre-meta baseline file) skips the audit.
+func checkMeta(base, cur meta) error {
+	if base.GOMAXPROCS != 0 && base.GOMAXPROCS != cur.GOMAXPROCS {
+		return fmt.Errorf("baseline ran at GOMAXPROCS=%d, this run at %d — not comparable; refresh the baseline with `make bench` on this machine",
+			base.GOMAXPROCS, cur.GOMAXPROCS)
+	}
+	if base.GoVersion != "" && base.GoVersion != cur.GoVersion {
+		fmt.Fprintf(os.Stderr, "benchjson: gate: warning: baseline built with %s, this run with %s — drift may be the toolchain, not the code\n",
+			base.GoVersion, cur.GoVersion)
+	}
+	return nil
+}
 
 // gate compares current results against a baseline file and returns the
-// regression report lines (empty = pass). Higher is worse for every gated
-// metric.
-func gate(baselinePath string, current map[string]map[string]float64, pct float64) ([]string, error) {
+// regression report lines (empty = pass). Growth is worse for cost metrics,
+// shrinkage is worse for work metrics.
+func gate(baselinePath string, cur output, pct float64) ([]string, error) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return nil, err
@@ -114,9 +148,12 @@ func gate(baselinePath string, current map[string]map[string]float64, pct float6
 	if err := json.Unmarshal(data, &base); err != nil {
 		return nil, fmt.Errorf("parse baseline %s: %w", baselinePath, err)
 	}
+	if err := checkMeta(base.Meta, cur.Meta); err != nil {
+		return nil, err
+	}
 	var regressions []string
-	names := make([]string, 0, len(current))
-	for name := range current {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -126,20 +163,32 @@ func gate(baselinePath string, current map[string]map[string]float64, pct float6
 			fmt.Fprintf(os.Stderr, "benchjson: gate: %s is new (no baseline); passing\n", name)
 			continue
 		}
-		for _, m := range gateMetrics {
-			b, okB := baseMetrics[m]
-			c, okC := current[name][m]
-			if !okB || !okC || b <= 0 {
+		metrics := make([]string, 0, len(baseMetrics))
+		for m := range baseMetrics {
+			if m != "B/op" {
+				metrics = append(metrics, m)
+			}
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			b := baseMetrics[m]
+			c, okC := cur.Benchmarks[name][m]
+			if !okC || b <= 0 {
 				continue
 			}
-			if growth := 100 * (c - b) / b; growth > pct {
+			delta := 100 * (c - b) / b
+			switch {
+			case isCostMetric(m) && delta > pct:
 				regressions = append(regressions,
-					fmt.Sprintf("%s %s: %.6g → %.6g (+%.1f%%, limit +%.0f%%)", name, m, b, c, growth, pct))
+					fmt.Sprintf("%s %s: %.6g → %.6g (+%.1f%%, limit +%.0f%%)", name, m, b, c, delta, pct))
+			case !isCostMetric(m) && -delta > pct:
+				regressions = append(regressions,
+					fmt.Sprintf("%s %s: %.6g → %.6g (%.1f%%, limit -%.0f%%)", name, m, b, c, delta, pct))
 			}
 		}
 	}
 	for name := range base.Benchmarks {
-		if _, ok := current[name]; !ok {
+		if _, ok := cur.Benchmarks[name]; !ok {
 			fmt.Fprintf(os.Stderr, "benchjson: gate: %s vanished from the run (baseline stale?)\n", name)
 		}
 	}
@@ -198,7 +247,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(results), *out)
 
 	if *gateFile != "" {
-		regressions, err := gate(*gateFile, results, *gatePct)
+		regressions, err := gate(*gateFile, doc, *gatePct)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: gate: %v\n", err)
 			os.Exit(1)

@@ -88,18 +88,10 @@ func TestOutputShape(t *testing.T) {
 	}
 }
 
-// TestGate pins the regression gate: growth beyond the threshold on a gated
-// metric fails, growth within it (and improvements, new benchmarks, or
-// non-gated metrics like B/op) passes.
-func TestGate(t *testing.T) {
-	baseline := output{
-		Benchmarks: map[string]map[string]float64{
-			"BenchmarkA":    {"ns/op": 1000, "allocs/op": 50, "B/op": 4000},
-			"BenchmarkB":    {"ns/op": 2000, "allocs/op": 10},
-			"BenchmarkGone": {"ns/op": 500},
-		},
-	}
-	data, err := json.Marshal(baseline)
+// writeBaseline marshals an output doc to a temp baseline file.
+func writeBaseline(t *testing.T, doc output) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,12 +99,32 @@ func TestGate(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
+	return path
+}
 
-	current := map[string]map[string]float64{
+// curDoc wraps benchmark results in an output with meta matching an empty
+// (pre-meta) baseline so the comparability audit stays out of the way.
+func curDoc(b map[string]map[string]float64) output {
+	return output{Benchmarks: b}
+}
+
+// TestGate pins the regression gate: growth beyond the threshold on a cost
+// metric fails, growth within it (and improvements, new benchmarks, or
+// non-gated metrics like B/op) passes.
+func TestGate(t *testing.T) {
+	path := writeBaseline(t, output{
+		Benchmarks: map[string]map[string]float64{
+			"BenchmarkA":    {"ns/op": 1000, "allocs/op": 50, "B/op": 4000},
+			"BenchmarkB":    {"ns/op": 2000, "allocs/op": 10},
+			"BenchmarkGone": {"ns/op": 500},
+		},
+	})
+
+	current := curDoc(map[string]map[string]float64{
 		"BenchmarkA":   {"ns/op": 1250, "allocs/op": 50, "B/op": 9000}, // ns/op +25% fails; B/op ignored
 		"BenchmarkB":   {"ns/op": 2100, "allocs/op": 9},                // +5% passes, improvement passes
 		"BenchmarkNew": {"ns/op": 1e9},                                 // no baseline → passes
-	}
+	})
 	regs, err := gate(path, current, 10)
 	if err != nil {
 		t.Fatal(err)
@@ -121,9 +133,9 @@ func TestGate(t *testing.T) {
 		t.Fatalf("gate = %v, want exactly the BenchmarkA ns/op regression", regs)
 	}
 
-	regs, err = gate(path, map[string]map[string]float64{
+	regs, err = gate(path, curDoc(map[string]map[string]float64{
 		"BenchmarkA": {"ns/op": 1000, "allocs/op": 56}, // +12% allocs fails
-	}, 10)
+	}), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,5 +145,66 @@ func TestGate(t *testing.T) {
 
 	if _, err := gate(t.TempDir()+"/missing.json", current, 10); err == nil {
 		t.Fatal("missing baseline must error, not silently pass")
+	}
+}
+
+// TestGateWorkMetrics pins the work-metric direction: custom units such as
+// events/op regress when they *shrink* (an ns/op win earned by doing less
+// work must not pass), and growth is fine.
+func TestGateWorkMetrics(t *testing.T) {
+	path := writeBaseline(t, output{
+		Benchmarks: map[string]map[string]float64{
+			"BenchmarkThroughput": {"ns/op": 1000, "events/op": 10000, "allocs/op": 5},
+		},
+	})
+
+	// 40% less work per op at flat ns/op: the gate must fail on events/op.
+	regs, err := gate(path, curDoc(map[string]map[string]float64{
+		"BenchmarkThroughput": {"ns/op": 1000, "events/op": 6000, "allocs/op": 5},
+	}), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "events/op") {
+		t.Fatalf("gate = %v, want exactly the events/op regression", regs)
+	}
+
+	// More work per op and a small decline both pass.
+	regs, err = gate(path, curDoc(map[string]map[string]float64{
+		"BenchmarkThroughput": {"ns/op": 1000, "events/op": 9500, "allocs/op": 5},
+	}), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("gate = %v, want pass for a within-threshold decline", regs)
+	}
+}
+
+// TestGateMetaHonesty pins the comparability audit: a GOMAXPROCS mismatch
+// refuses to gate, a Go-version mismatch merely warns, and an empty (legacy)
+// baseline meta skips the audit.
+func TestGateMetaHonesty(t *testing.T) {
+	bench := map[string]map[string]float64{"BenchmarkA": {"ns/op": 1000}}
+	path := writeBaseline(t, output{
+		Meta:       meta{GoVersion: "go1.21.0", GOMAXPROCS: 8},
+		Benchmarks: bench,
+	})
+
+	cur := output{Meta: meta{GoVersion: "go1.21.0", GOMAXPROCS: 1}, Benchmarks: bench}
+	if _, err := gate(path, cur, 10); err == nil || !strings.Contains(err.Error(), "GOMAXPROCS") {
+		t.Fatalf("gate with GOMAXPROCS mismatch: err = %v, want refusal", err)
+	}
+
+	cur.Meta.GOMAXPROCS = 8
+	cur.Meta.GoVersion = "go1.22.0" // version drift warns but gates
+	if _, err := gate(path, cur, 10); err != nil {
+		t.Fatalf("gate with version drift: %v, want pass", err)
+	}
+
+	legacy := writeBaseline(t, output{Benchmarks: bench})
+	cur.Meta = meta{GoVersion: "go1.22.0", GOMAXPROCS: 4}
+	if _, err := gate(legacy, cur, 10); err != nil {
+		t.Fatalf("gate with legacy baseline meta: %v, want audit skipped", err)
 	}
 }

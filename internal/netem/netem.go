@@ -55,6 +55,16 @@ type SinkFunc func(pkt *Packet)
 // Deliver implements Sink.
 func (f SinkFunc) Deliver(pkt *Packet) { f(pkt) }
 
+// metaRetainer and metaReleaser are optional interfaces a transport's Meta
+// value may implement when it is pooled/refcounted. The emulator is the only
+// component that creates additional Meta references (packet duplication) or
+// destroys one invisibly to both endpoints (a drop), so it retains on clone
+// and releases on drop; deliveries transfer the reference to the sink. Metas
+// implementing neither interface are simply garbage-collected as before.
+type metaRetainer interface{ RetainMeta() }
+
+type metaReleaser interface{ ReleaseMeta() }
+
 // DropReason explains why a link dropped a packet.
 type DropReason int
 
@@ -409,6 +419,9 @@ func (l *Link) enqueue(pkt *Packet) {
 		clone.hop = pkt.hop
 		clone.sink = pkt.sink
 		clone.dup = true
+		if r, ok := pkt.Meta.(metaRetainer); ok {
+			r.RetainMeta()
+		}
 		l.stats.Duplicated++
 		l.probes.Duplicate(now, l.Name, clone.Size)
 		defer l.enqueue(clone)
@@ -551,6 +564,9 @@ func (l *Link) drop(pkt *Packet, reason DropReason) {
 	}
 	if pkt.onDrop != nil {
 		pkt.onDrop(pkt, reason)
+	}
+	if r, ok := pkt.Meta.(metaReleaser); ok {
+		r.ReleaseMeta()
 	}
 	pkt.owner.release(pkt)
 }

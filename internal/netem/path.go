@@ -40,7 +40,9 @@ type Path struct {
 	free []*Packet
 }
 
-// acquire returns a zeroed packet owned by this path.
+// acquire returns a zeroed packet owned by this path. Packets are allocated
+// in slabs so a cold start provisions a batch per allocation and steady state
+// allocates nothing.
 func (p *Path) acquire() *Packet {
 	if n := len(p.free); n > 0 {
 		pkt := p.free[n-1]
@@ -48,7 +50,14 @@ func (p *Path) acquire() *Packet {
 		p.free = p.free[:n-1]
 		return pkt
 	}
-	return &Packet{owner: p}
+	slab := make([]Packet, 32)
+	for i := range slab {
+		slab[i].owner = p
+		if i > 0 {
+			p.free = append(p.free, &slab[i])
+		}
+	}
+	return &slab[0]
 }
 
 // release recycles pkt after its terminal event (delivery or drop).

@@ -59,4 +59,5 @@ type segment struct {
 	off       int64
 	size      int
 	delivered bool
+	refs      int32 // pool reference count, see pool.go
 }

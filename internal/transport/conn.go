@@ -37,9 +37,13 @@ type Connection struct {
 	rcvBuf     int64    // receive-buffer bytes (0 = unlimited, the paper's setup)
 	rcv        rangeSet // receiver-side reassembly state
 
-	failThreshold int        // consecutive RTO episodes before a subflow fails (≤0 disables)
-	probeInterval sim.Time   // revival-probe period for failed subflows
-	orphans       []*segment // segments stranded while every subflow was dead
+	failThreshold int      // consecutive RTO episodes before a subflow fails (≤0 disables)
+	probeInterval sim.Time // revival-probe period for failed subflows
+	orphans       segQueue // segments stranded while every subflow was dead
+
+	// object pools (see pool.go for the reference-counting rules)
+	recFree []*pktRec
+	segFree []*segment
 
 	probes *obs.Bus // nil when observability is disabled
 
@@ -236,7 +240,7 @@ func (c *Connection) pump() {
 		if n == 0 {
 			return
 		}
-		seg := &segment{off: c.nextOff, size: n}
+		seg := c.acquireSeg(c.nextOff, n)
 		c.nextOff += int64(n)
 		s.enqueue(seg)
 		c.probes.SchedPick(c.eng.Now(), c.Name, s.id, n)
@@ -253,9 +257,9 @@ func (c *Connection) pump() {
 // than pending alone) mirrors a real socket's send buffer and guarantees the
 // pump terminates even under a runaway congestion window.
 func (c *Connection) totalUnacked() int {
-	t := len(c.orphans)
+	t := c.orphans.len()
 	for _, s := range c.subflows {
-		t += len(s.pending) + s.inflightPkts
+		t += s.pending.len() + s.inflightPkts
 	}
 	return t
 }

@@ -91,19 +91,16 @@ func (s *Subflow) fail() {
 	s.fails++
 	s.downAt = s.conn.eng.Now()
 	s.conn.probes.SubflowDown(s.downAt, s.conn.Name, s.id)
-	if s.pacerTimer != nil {
-		s.pacerTimer.Stop()
-		s.pacerTimer = nil
-	}
-	if s.rackTimer != nil {
-		s.rackTimer.Stop()
-		s.rackTimer = nil
-	}
+	s.pacerTimer.Stop()
+	s.pacerTimer = sim.TimerRef{}
+	s.rackTimer.Stop()
+	s.rackTimer = sim.TimerRef{}
 	s.pacerIdle = true
 	s.capBlocked = false
-	// Dropping the open MIs orphans the pending rollMI callback (its
+	// Dropping the open MIs orphans the pending miEndEvent timer (its
 	// identity check fails) so no stale OnMIComplete reaches the controller.
-	s.openMIs = nil
+	s.openMIs = s.openMIs[:0]
+	s.miHead = 0
 	for i := s.outHead; i < len(s.outstanding); i++ {
 		rec := s.outstanding[i]
 		if rec == nil || rec.acked || rec.lost {
@@ -113,12 +110,13 @@ func (s *Subflow) fail() {
 		s.lostPkts++
 		s.inflightBytes -= rec.size
 		s.inflightPkts--
-		if rec.rto != nil {
-			rec.rto.Stop()
-			rec.rto = nil
+		if rec.rto.Stop() {
+			rec.rto = sim.TimerRef{}
+			s.conn.releaseRec(rec) // the cancelled RTO timer's reference
 		}
 		if !rec.seg.delivered {
-			s.retx = append(s.retx, rec.seg)
+			rec.seg.refs++ // the retransmission queue's reference
+			s.retx.push(rec.seg)
 		}
 	}
 	s.advanceHead()
@@ -232,30 +230,38 @@ func (c *Connection) liveSubflows(except *Subflow) []*Subflow {
 // segments are held at the connection until one revives.
 func (c *Connection) migrateFrom(s *Subflow) {
 	var sent, unsent []*segment
-	for _, seg := range s.retx {
+	for _, seg := range s.retx.items() {
 		if !seg.delivered {
 			sent = append(sent, seg)
+		} else {
+			c.releaseSeg(seg)
 		}
 	}
-	for _, seg := range s.pending {
+	for _, seg := range s.pending.items() {
 		if !seg.delivered {
 			unsent = append(unsent, seg)
+		} else {
+			c.releaseSeg(seg)
 		}
 	}
-	s.retx, s.pending = nil, nil
+	// Every live entry was transferred (sent/unsent) or released above.
+	s.retx.reset()
+	s.pending.reset()
 	live := c.liveSubflows(s)
 	if len(live) == 0 {
-		c.orphans = append(c.orphans, sent...)
-		c.orphans = append(c.orphans, unsent...)
+		for _, seg := range sent {
+			c.orphans.push(seg)
+		}
+		for _, seg := range unsent {
+			c.orphans.push(seg)
+		}
 		return
 	}
 	for i, seg := range sent {
-		sf := live[i%len(live)]
-		sf.retx = append(sf.retx, seg)
+		live[i%len(live)].retx.push(seg)
 	}
 	for i, seg := range unsent {
-		sf := live[i%len(live)]
-		sf.pending = append(sf.pending, seg)
+		live[i%len(live)].pending.push(seg)
 	}
 	for _, sf := range live {
 		sf.kick()
@@ -265,14 +271,12 @@ func (c *Connection) migrateFrom(s *Subflow) {
 // adoptOrphans hands segments stranded while every subflow was dead to the
 // newly revived subflow.
 func (c *Connection) adoptOrphans(s *Subflow) {
-	if len(c.orphans) == 0 {
-		return
-	}
-	segs := c.orphans
-	c.orphans = nil
-	for _, seg := range segs {
+	for c.orphans.len() > 0 {
+		seg := c.orphans.pop()
 		if !seg.delivered {
-			s.retx = append(s.retx, seg)
+			s.retx.push(seg)
+		} else {
+			c.releaseSeg(seg)
 		}
 	}
 }

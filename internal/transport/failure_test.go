@@ -176,8 +176,8 @@ func TestSinglePathOutageOrphansThenRevival(t *testing.T) {
 	if c.AckedBytes() != 50_000_000 {
 		t.Fatalf("acked %d bytes", c.AckedBytes())
 	}
-	if len(c.orphans) != 0 {
-		t.Fatalf("%d segments still orphaned after revival", len(c.orphans))
+	if c.orphans.len() != 0 {
+		t.Fatalf("%d segments still orphaned after revival", c.orphans.len())
 	}
 }
 

@@ -46,7 +46,7 @@ func TestDupThresholdMarksEarlierPacketsLost(t *testing.T) {
 	}
 	// The lost segment must be queued for retransmission.
 	found := false
-	for _, seg := range s.retx {
+	for _, seg := range s.retx.items() {
 		if seg == recs[0].seg {
 			found = true
 		}

@@ -11,6 +11,7 @@ import (
 // charged to it) and "resolved" when every packet sent in it has been acked
 // or declared lost; only then can its utility inputs be computed (§5.2).
 type monitorInterval struct {
+	sf         *Subflow // owner, for the closure-free end-of-MI timer
 	seq        int
 	start, end sim.Time
 	rate       float64 // configured pacing rate, bits/s

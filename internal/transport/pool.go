@@ -1,0 +1,145 @@
+package transport
+
+// Per-connection object pools. A connection belongs to exactly one
+// (single-threaded) engine, so plain slices need no locking. Objects are
+// allocated in slabs: a cold start provisions a batch per allocation and
+// steady state allocates nothing (guarded by the alloc regression test).
+//
+// Reference-counting rules:
+//
+// pktRec — created by transmit with three references: the outstanding slot
+// (released when advanceHead passes the record), the network packet carrying
+// it as Meta (netem releases it on a drop via ReleaseMeta and retains an
+// extra one per duplication clone via RetainMeta; a delivery transfers it to
+// the receiver's ACK pipeline, which releases it after senderAck processed
+// the record), and the pending RTO timer (released when the timer fires or
+// is successfully stopped). A record may therefore outlive its loss
+// declaration — exactly what Eifel-style spurious-retransmit repair needs.
+//
+// segment — one reference per queue membership (pending/retx/orphans) plus
+// one per pktRec pointing at it. Queue pops transfer the reference to the
+// caller (usually straight into a new pktRec); lazily filtered delivered
+// segments (nextSegment, migrateFrom, adoptOrphans) release theirs.
+
+const poolSlab = 64
+
+func (c *Connection) acquireRec() *pktRec {
+	if n := len(c.recFree); n > 0 {
+		rec := c.recFree[n-1]
+		c.recFree[n-1] = nil
+		c.recFree = c.recFree[:n-1]
+		return rec
+	}
+	slab := make([]pktRec, poolSlab)
+	for i := 1; i < len(slab); i++ {
+		c.recFree = append(c.recFree, &slab[i])
+	}
+	return &slab[0]
+}
+
+// releaseRec drops one reference; the last one recycles the record and
+// releases its segment reference.
+func (c *Connection) releaseRec(rec *pktRec) {
+	rec.refs--
+	if rec.refs > 0 {
+		return
+	}
+	if rec.refs < 0 {
+		panic("transport: pktRec over-released")
+	}
+	seg := rec.seg
+	*rec = pktRec{}
+	c.recFree = append(c.recFree, rec)
+	c.releaseSeg(seg)
+}
+
+// RetainMeta and ReleaseMeta let netem adjust the reference count for
+// link-level events the endpoints cannot see: a duplication clone sharing
+// this record as Meta, and a drop destroying a reference.
+func (rec *pktRec) RetainMeta() { rec.refs++ }
+
+func (rec *pktRec) ReleaseMeta() { rec.sf.conn.releaseRec(rec) }
+
+func (c *Connection) acquireSeg(off int64, size int) *segment {
+	var seg *segment
+	if n := len(c.segFree); n > 0 {
+		seg = c.segFree[n-1]
+		c.segFree[n-1] = nil
+		c.segFree = c.segFree[:n-1]
+	} else {
+		slab := make([]segment, poolSlab)
+		for i := 1; i < len(slab); i++ {
+			c.segFree = append(c.segFree, &slab[i])
+		}
+		seg = &slab[0]
+	}
+	seg.off, seg.size, seg.refs = off, size, 1
+	return seg
+}
+
+// releaseSeg drops one reference; the last one recycles the segment.
+func (c *Connection) releaseSeg(seg *segment) {
+	if seg == nil {
+		return
+	}
+	seg.refs--
+	if seg.refs > 0 {
+		return
+	}
+	if seg.refs < 0 {
+		panic("transport: segment over-released")
+	}
+	*seg = segment{}
+	c.segFree = append(c.segFree, seg)
+}
+
+// ackBatch carries acknowledged records from the receiver back to the
+// sender as a single feedback packet's Meta. A pooled pointer goes through
+// the `any` interface without allocating, unlike the slice header it wraps.
+// Each entry holds the network reference its data packet's delivery
+// transferred to the ACK pipeline; senderAck releases them after the batch
+// is processed.
+type ackBatch struct {
+	recs []*pktRec
+}
+
+// newAckBatch returns a recycled (or fresh) batch seeded with rec.
+func (s *Subflow) newAckBatch(rec *pktRec) *ackBatch {
+	if n := len(s.ackBatches); n > 0 {
+		b := s.ackBatches[n-1]
+		s.ackBatches[n-1] = nil
+		s.ackBatches = s.ackBatches[:n-1]
+		b.recs = append(b.recs, rec)
+		return b
+	}
+	return &ackBatch{recs: append(make([]*pktRec, 0, 4), rec)}
+}
+
+// popFlt returns a recycled float buffer (length 0) for MI rtt samples, or
+// nil — a fresh MI then grows its own, which joins the pool when finalized.
+func (s *Subflow) popFlt() []float64 {
+	if n := len(s.fltPool); n > 0 {
+		f := s.fltPool[n-1]
+		s.fltPool[n-1] = nil
+		s.fltPool = s.fltPool[:n-1]
+		return f
+	}
+	return nil
+}
+
+func (s *Subflow) pushFlt(f []float64) {
+	if cap(f) > 0 {
+		s.fltPool = append(s.fltPool, f[:0])
+	}
+}
+
+// recycleBatch releases every record's network reference and returns the
+// batch to the pool.
+func (s *Subflow) recycleBatch(b *ackBatch) {
+	for i, rec := range b.recs {
+		b.recs[i] = nil
+		s.conn.releaseRec(rec)
+	}
+	b.recs = b.recs[:0]
+	s.ackBatches = append(s.ackBatches, b)
+}

@@ -112,6 +112,14 @@ func TestSpuriousRTOUndo(t *testing.T) {
 	if len(recs) == 0 {
 		t.Fatal("rig sent nothing")
 	}
+	// The late ack below is delivered by hand: in the real spurious scenario
+	// the packet arrived (late) rather than being dropped, so the network's
+	// Meta reference stays alive until feedback returns. Retain it here —
+	// the 100%-loss link would otherwise release it and let the pool recycle
+	// the records out from under the test.
+	for _, rec := range recs {
+		rec.RetainMeta()
+	}
 	cwndBefore := ctrl.Cwnd()
 	baseRTO := s.rto
 	tn.eng.Run(400 * sim.Millisecond) // the initial flight times out

@@ -24,15 +24,26 @@ func (r *rangeSet) add(off int64, size int) int64 {
 	if off < r.next {
 		off = r.next
 	}
+	// In-order fast path: the common no-loss case extends the prefix
+	// directly, without touching the island list.
+	if off == r.next && (len(r.intervals) == 0 || r.intervals[0].start > end) {
+		r.next = end
+		return end - off
+	}
 	// Insert/merge into the island list.
 	r.insert(interval{off, end})
 	// Advance the contiguous prefix over any islands it now reaches.
 	before := r.next
-	for len(r.intervals) > 0 && r.intervals[0].start <= r.next {
-		if r.intervals[0].end > r.next {
-			r.next = r.intervals[0].end
+	k := 0
+	for k < len(r.intervals) && r.intervals[k].start <= r.next {
+		if r.intervals[k].end > r.next {
+			r.next = r.intervals[k].end
 		}
-		r.intervals = r.intervals[1:]
+		k++
+	}
+	if k > 0 {
+		n := copy(r.intervals, r.intervals[k:])
+		r.intervals = r.intervals[:n]
 	}
 	return r.next - before
 }
@@ -65,7 +76,19 @@ func (r *rangeSet) insert(iv interval) {
 		}
 		j++
 	}
-	r.intervals = append(r.intervals[:i], append([]interval{iv}, r.intervals[j:]...)...)
+	if j == i {
+		// Pure insertion: shift the tail right by one in place.
+		r.intervals = append(r.intervals, interval{})
+		copy(r.intervals[i+1:], r.intervals[i:])
+		r.intervals[i] = iv
+		return
+	}
+	// Replace the merged run [i, j) with the single merged interval.
+	r.intervals[i] = iv
+	if j > i+1 {
+		n := copy(r.intervals[i+1:], r.intervals[j:])
+		r.intervals = r.intervals[:i+1+n]
+	}
 }
 
 // contiguous returns the end of the in-order prefix (rcv.nxt).

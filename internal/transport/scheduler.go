@@ -66,7 +66,7 @@ func (r *RateScheduler) Pick(c *Connection) *Subflow {
 		if float64(s.inflightPkts) >= s.CwndPkts() {
 			continue
 		}
-		if len(s.pending) >= r.queueCap(s) {
+		if s.pending.len() >= r.queueCap(s) {
 			continue
 		}
 		if best == nil || s.srtt < bestRTT {

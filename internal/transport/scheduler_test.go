@@ -49,7 +49,7 @@ func rigConn(t *testing.T, states []subState) *Connection {
 		}
 		s.srtt = st.srtt
 		s.inflightPkts = st.inflight
-		s.pending = make([]*segment, st.pending)
+		s.pending = segQueue{s: make([]*segment, st.pending)}
 		if st.failed {
 			s.state = SubflowFailed
 		}

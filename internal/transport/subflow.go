@@ -9,7 +9,9 @@ import (
 	"mpcc/internal/stats"
 )
 
-// pktRec is the sender-side record of one transmitted packet.
+// pktRec is the sender-side record of one transmitted packet. Records are
+// pooled per connection and reference-counted (see pool.go for the
+// ownership rules); refs is the number of live references.
 type pktRec struct {
 	sf        *Subflow
 	seg       *segment
@@ -20,7 +22,8 @@ type pktRec struct {
 	lost      bool
 	lostByRTO bool // the loss declaration came from an RTO episode
 	mi        *monitorInterval
-	rto       *sim.Timer
+	rto       sim.TimerRef
+	refs      int32
 }
 
 // Subflow is one path-bound flow of a multipath connection. Exactly one of
@@ -34,8 +37,8 @@ type Subflow struct {
 	wc cc.WindowController
 
 	// data queues
-	pending []*segment // assigned by the scheduler, unsent
-	retx    []*segment // lost segments awaiting retransmission
+	pending segQueue // assigned by the scheduler, unsent
+	retx    segQueue // lost segments awaiting retransmission
 
 	// in-flight tracking
 	outstanding   []*pktRec // send order; head entries may be resolved
@@ -52,12 +55,13 @@ type Subflow struct {
 	// pacing state (rate-based)
 	curRate    float64
 	nextSend   sim.Time
-	pacerTimer *sim.Timer
+	pacerTimer sim.TimerRef
 	pacerIdle  bool
 	capBlocked bool
 
-	// monitor intervals (rate-based)
+	// monitor intervals (rate-based): openMIs[miHead:] are live, in order.
 	openMIs []*monitorInterval
+	miHead  int
 	miSeq   int
 
 	// loss-event suppression (window-based): react at most once per
@@ -78,7 +82,7 @@ type Subflow struct {
 	minRTT       sim.Time // lifetime minimum RTT sample
 	reoWndMult   int      // adaptive multiplier on the base window
 	reoWndGrewAt sim.Time
-	rackTimer    *sim.Timer
+	rackTimer    sim.TimerRef
 
 	// Eifel-style spurious-retransmission accounting: loss declarations
 	// whose packet was later acknowledged after all.
@@ -97,15 +101,17 @@ type Subflow struct {
 	upAt        sim.Time
 
 	// receiver-side delayed-ACK state
-	rxPending []*pktRec
-	rxTimer   *sim.Timer
+	rxPending *ackBatch
+	rxTimer   sim.TimerRef
 
 	// allocation recycling: sinks are built once (a method value allocates
-	// on every conversion), and ACK batch slices cycle sender→receiver
-	// within this subflow, which simulates both endpoints.
+	// on every conversion), ACK batches cycle sender→receiver within this
+	// subflow (which simulates both endpoints), and MI rtt-sample slices
+	// cycle between finalized and freshly opened monitor intervals.
 	rxSink     netem.Sink
 	ackSink    netem.Sink
-	ackBatches [][]*pktRec
+	ackBatches []*ackBatch
+	fltPool    [][]float64
 
 	// metrics
 	goodput        *stats.Series // first-delivery bytes, bucketed
@@ -145,7 +151,7 @@ func (s *Subflow) CwndPkts() float64 {
 func (s *Subflow) InflightPkts() int { return s.inflightPkts }
 
 // PendingPkts returns the number of assigned-but-unsent segments.
-func (s *Subflow) PendingPkts() int { return len(s.pending) + len(s.retx) }
+func (s *Subflow) PendingPkts() int { return s.pending.len() + s.retx.len() }
 
 // Goodput returns the subflow's first-delivery byte series.
 func (s *Subflow) Goodput() *stats.Series { return s.goodput }
@@ -189,9 +195,10 @@ func (s *Subflow) ReorderWindow() sim.Time {
 // retransmissions).
 func (s *Subflow) SentPkts() uint64 { return s.sentPkts }
 
-// enqueue hands the subflow a newly assigned segment.
+// enqueue hands the subflow a newly assigned segment (taking over the
+// caller's reference).
 func (s *Subflow) enqueue(seg *segment) {
-	s.pending = append(s.pending, seg)
+	s.pending.push(seg)
 }
 
 // init seeds the RTT estimators before any packet may be sent (as the
@@ -273,8 +280,8 @@ func (s *Subflow) miDuration(rate float64) sim.Time {
 // the controller chooses.
 func (s *Subflow) rollMI() {
 	now := s.conn.eng.Now()
-	if n := len(s.openMIs); n > 0 {
-		s.openMIs[n-1].closed = true
+	if s.miLen() > 0 {
+		s.currentMI().closed = true
 	}
 	rate := s.rc.NextRate(now, s.srtt)
 	if rate < 1 {
@@ -284,55 +291,82 @@ func (s *Subflow) rollMI() {
 		s.conn.probes.RateChange(now, s.conn.Name, s.id, rate)
 	}
 	s.curRate = rate
-	mi := &monitorInterval{seq: s.miSeq, start: now, end: now + s.miDuration(rate), rate: rate}
+	mi := &monitorInterval{sf: s, seq: s.miSeq, start: now, end: now + s.miDuration(rate), rate: rate}
+	mi.rttTimes = s.popFlt()
+	mi.rttVals = s.popFlt()
 	s.miSeq++
 	s.openMIs = append(s.openMIs, mi)
-	s.conn.eng.At(mi.end, func() {
-		if len(s.openMIs) > 0 && s.openMIs[len(s.openMIs)-1] == mi {
-			s.rollMI()
-			s.finalizeMIs()
-			// A rate change moves the next send time; also resume an idle
-			// pacer if data arrived without a kick (liveness backstop).
-			if !s.pacerIdle && !s.capBlocked {
-				s.pace()
-			} else {
-				s.conn.pump()
-				s.kick()
-			}
-		}
-	})
+	// Closure-free: the identity guard in miEndEvent makes a stale timer a
+	// no-op, so the pooled no-handle Schedule suffices.
+	s.conn.eng.Schedule(mi.end, miEndEvent, mi)
 }
+
+// miEndEvent fires at an MI's scheduled end: if the MI is still the
+// subflow's current one (failure drops open MIs, orphaning the timer), it
+// rolls the next interval and resumes the send machinery.
+func miEndEvent(a any) {
+	mi := a.(*monitorInterval)
+	s := mi.sf
+	if s.miLen() > 0 && s.currentMI() == mi {
+		s.rollMI()
+		s.finalizeMIs()
+		// A rate change moves the next send time; also resume an idle
+		// pacer if data arrived without a kick (liveness backstop).
+		if !s.pacerIdle && !s.capBlocked {
+			s.pace()
+		} else {
+			s.conn.pump()
+			s.kick()
+		}
+	}
+}
+
+func (s *Subflow) miLen() int { return len(s.openMIs) - s.miHead }
 
 func (s *Subflow) currentMI() *monitorInterval {
 	return s.openMIs[len(s.openMIs)-1]
 }
 
 // finalizeMIs delivers completed MI statistics to the controller, in order.
+// Resolved MIs are consumed via a head index (not re-slicing) so the queue's
+// capacity is reused; records may still reference a consumed MI (late
+// spurious corrections), which is safe because the MI structs are not pooled
+// — only their rtt-sample slices, which nothing reads after stats().
 func (s *Subflow) finalizeMIs() {
 	now := s.conn.eng.Now()
-	for len(s.openMIs) > 0 && s.openMIs[0].resolved(now) {
-		mi := s.openMIs[0]
-		s.openMIs = s.openMIs[1:]
+	for s.miHead < len(s.openMIs) && s.openMIs[s.miHead].resolved(now) {
+		mi := s.openMIs[s.miHead]
+		s.openMIs[s.miHead] = nil
+		s.miHead++
 		s.rc.OnMIComplete(mi.stats())
+		s.pushFlt(mi.rttTimes)
+		s.pushFlt(mi.rttVals)
+		mi.rttTimes, mi.rttVals = nil, nil
+	}
+	if s.miHead == len(s.openMIs) {
+		s.openMIs = s.openMIs[:0]
+		s.miHead = 0
 	}
 }
 
-// paceEvent and rtoEvent are static callbacks for sim.AtArg: scheduling
-// them allocates no closure, only the Timer.
+// paceEvent and rtoEvent are static callbacks for sim.ScheduleRef:
+// scheduling them allocates nothing — no closure, and the Timer itself is
+// pooled by the engine.
 func paceEvent(a any) { a.(*Subflow).pace() }
 
 func rtoEvent(a any) {
 	rec := a.(*pktRec)
-	rec.sf.onRTOTimer(rec)
+	rec.rto = sim.TimerRef{}
+	sf := rec.sf
+	sf.onRTOTimer(rec)
+	sf.conn.releaseRec(rec) // the fired RTO timer's reference
 }
 
 func flushAcksEvent(a any) { a.(*Subflow).flushAcks() }
 
 func (s *Subflow) armPacer(at sim.Time) {
-	if s.pacerTimer != nil {
-		s.pacerTimer.Stop()
-	}
-	s.pacerTimer = s.conn.eng.AtArg(at, paceEvent, s)
+	s.pacerTimer.Stop()
+	s.pacerTimer = s.conn.eng.ScheduleRef(at, paceEvent, s)
 }
 
 // pace transmits the next packet if the pacing schedule and inflight cap
@@ -393,34 +427,36 @@ func (s *Subflow) trySend() {
 // ---- common send path ----
 
 // nextSegment returns the next segment to transmit: retransmissions first,
-// then assigned new data, pulling from the connection when empty.
+// then assigned new data, pulling from the connection when empty. The
+// returned segment carries its queue reference (transferred to the caller).
 func (s *Subflow) nextSegment() *segment {
-	if len(s.retx) > 0 {
-		seg := s.retx[0]
-		s.retx = s.retx[1:]
+	for s.retx.len() > 0 {
+		seg := s.retx.pop()
 		if seg.delivered {
-			return s.nextSegment() // superseded retransmission
+			s.conn.releaseSeg(seg) // superseded retransmission
+			continue
 		}
 		s.retxPkts++
 		s.conn.probes.Retransmit(s.conn.eng.Now(), s.conn.Name, s.id, seg.size)
 		return seg
 	}
-	if len(s.pending) == 0 {
+	if s.pending.len() == 0 {
 		return nil
 	}
-	seg := s.pending[0]
+	seg := s.pending.peek()
 	// Receive-window gate: new data beyond what the receiver can buffer
 	// stays queued (retransmissions above always pass — they fill holes).
 	if seg.off+int64(seg.size) > s.conn.rwndLimit() {
 		return nil
 	}
-	s.pending = s.pending[1:]
-	return seg
+	return s.pending.pop()
 }
 
 func (s *Subflow) transmit(seg *segment) {
 	now := s.conn.eng.Now()
-	rec := &pktRec{sf: s, seg: seg, idx: s.sendIdx, size: seg.size, sentAt: now}
+	rec := s.conn.acquireRec()
+	rec.sf, rec.seg, rec.idx, rec.size, rec.sentAt = s, seg, s.sendIdx, seg.size, now
+	rec.refs = 3 // outstanding slot + network packet Meta + RTO timer
 	s.sendIdx++
 	s.sentPkts++
 	s.sentBytes += int64(seg.size)
@@ -432,25 +468,15 @@ func (s *Subflow) transmit(seg *segment) {
 		rec.mi = mi
 		mi.onSend(seg.size)
 	}
-	rec.rto = s.conn.eng.AtArg(now+s.backedOffRTO(), rtoEvent, rec)
+	rec.rto = s.conn.eng.ScheduleRef(now+s.backedOffRTO(), rtoEvent, rec)
 	s.path.Send(seg.size, rec, s.rxSink, nil)
-}
-
-// newAckBatch returns a recycled (or fresh) batch slice seeded with rec.
-func (s *Subflow) newAckBatch(rec *pktRec) []*pktRec {
-	if n := len(s.ackBatches); n > 0 {
-		b := s.ackBatches[n-1]
-		s.ackBatches[n-1] = nil
-		s.ackBatches = s.ackBatches[:n-1]
-		return append(b, rec)
-	}
-	return append(make([]*pktRec, 0, 4), rec)
 }
 
 // receiverDeliver runs at the receiving endpoint. With per-packet ACKs
 // (the default) it immediately returns an acknowledgement; with delayed
 // ACKs it batches every conn.ackEvery packets or flushes after
-// conn.ackTimeout, whichever comes first.
+// conn.ackTimeout, whichever comes first. The packet's Meta reference
+// transfers into the ACK pipeline (released after senderAck).
 func (s *Subflow) receiverDeliver(pkt *netem.Packet) {
 	rec := pkt.Meta.(*pktRec)
 	s.conn.onArrival(rec.seg.off, rec.size)
@@ -461,23 +487,21 @@ func (s *Subflow) receiverDeliver(pkt *netem.Packet) {
 	if s.rxPending == nil {
 		s.rxPending = s.newAckBatch(rec)
 	} else {
-		s.rxPending = append(s.rxPending, rec)
+		s.rxPending.recs = append(s.rxPending.recs, rec)
 	}
-	if len(s.rxPending) >= s.conn.ackEvery {
+	if len(s.rxPending.recs) >= s.conn.ackEvery {
 		s.flushAcks()
 		return
 	}
-	if s.rxTimer == nil {
-		s.rxTimer = s.conn.eng.AtArg(s.conn.eng.Now()+s.conn.ackTimeout, flushAcksEvent, s)
+	if !s.rxTimer.Pending() {
+		s.rxTimer = s.conn.eng.ScheduleRef(s.conn.eng.Now()+s.conn.ackTimeout, flushAcksEvent, s)
 	}
 }
 
 func (s *Subflow) flushAcks() {
-	if s.rxTimer != nil {
-		s.rxTimer.Stop()
-		s.rxTimer = nil
-	}
-	if len(s.rxPending) == 0 {
+	s.rxTimer.Stop()
+	s.rxTimer = sim.TimerRef{}
+	if s.rxPending == nil {
 		return
 	}
 	batch := s.rxPending
@@ -485,25 +509,55 @@ func (s *Subflow) flushAcks() {
 	s.path.SendFeedback(batch, s.ackSink)
 }
 
-// senderAck processes an acknowledgement batch back at the sender, then
-// recycles the batch slice (its packet is released by the path right after
-// this returns, so nothing else can still reference the slice).
+// senderAck processes an acknowledgement batch back at the sender: one
+// cheap per-packet bookkeeping pass (ackOne), then — at most once per
+// feedback packet, not once per acked packet — the full pipeline of loss
+// detection, head advance, monitor-interval finalization, and send-machinery
+// resumption. With per-packet ACKs (the default) a batch holds one record
+// and the behavior is identical to running the pipeline per packet; with
+// delayed ACKs the coalescing is where batching pays. Afterwards the batch
+// and its records' network references are recycled (the feedback *Packet
+// itself is released by the path right after this returns).
 func (s *Subflow) senderAck(fb *netem.Packet) {
-	batch := fb.Meta.([]*pktRec)
-	for _, rec := range batch {
-		s.handleAck(rec)
+	batch := fb.Meta.(*ackBatch)
+	var sawAck, sawSpurious bool
+	for _, rec := range batch.recs {
+		s.ackOne(rec, &sawAck, &sawSpurious)
 	}
-	for i := range batch {
-		batch[i] = nil
+	if sawAck {
+		s.ackPipeline()
+	} else if sawSpurious {
+		// A spurious-only batch skips detection and head advance, exactly
+		// like the old per-packet spurious path: the inflight ledger was
+		// settled at loss declaration, so only the send machinery resumes.
+		s.conn.pump()
+		s.kick()
 	}
-	s.ackBatches = append(s.ackBatches, batch[:0])
+	s.recycleBatch(batch)
 }
 
+// handleAck processes a single acknowledged record through the full
+// pipeline (the pre-batching behavior, kept for white-box tests).
 func (s *Subflow) handleAck(rec *pktRec) {
+	var sawAck, sawSpurious bool
+	s.ackOne(rec, &sawAck, &sawSpurious)
+	if sawAck {
+		s.ackPipeline()
+	} else if sawSpurious {
+		s.conn.pump()
+		s.kick()
+	}
+}
+
+// ackOne applies the per-packet bookkeeping of one acknowledgement: RTO
+// cancellation, RTT/ledger/MI updates, and RACK state. The batch-level
+// pipeline (detection, head advance, MI finalization, resume) runs once per
+// feedback packet in senderAck.
+func (s *Subflow) ackOne(rec *pktRec, sawAck, sawSpurious *bool) {
 	now := s.conn.eng.Now()
-	if rec.rto != nil {
-		rec.rto.Stop()
-		rec.rto = nil
+	if rec.rto.Stop() {
+		rec.rto = sim.TimerRef{}
+		s.conn.releaseRec(rec) // the cancelled RTO timer's reference
 	}
 	if rec.acked {
 		return
@@ -538,8 +592,7 @@ func (s *Subflow) handleAck(rec *pktRec) {
 		}
 		s.conn.probes.SpuriousRetx(now, s.conn.Name, s.id, rec.size, rec.lostByRTO)
 		s.deliverOnce(rec.seg, now)
-		s.conn.pump()
-		s.kick()
+		*sawSpurious = true
 		return
 	}
 	rec.acked = true
@@ -573,13 +626,22 @@ func (s *Subflow) handleAck(rec *pktRec) {
 		s.rackXmit = rec.sentAt
 		s.rackRTT = rtt
 	}
+	*sawAck = true
+}
+
+// ackPipeline is the batch-level tail of acknowledgement processing: loss
+// detection, head advance, MI finalization, and send-machinery resumption.
+func (s *Subflow) ackPipeline() {
+	now := s.conn.eng.Now()
 	// Loss detection: dup-threshold ordering while acks arrive in order;
 	// once reordering has been observed, time-based RACK marking (the dup
-	// threshold would misread every reordered flight as loss).
+	// threshold would misread every reordered flight as loss). The
+	// dup-threshold walk uses the batch's highest acked index, which for an
+	// in-order single-packet batch is exactly the acked packet's index.
 	if s.reoSeen {
 		s.rackDetect(now)
 	} else {
-		s.detectReordering(rec.idx)
+		s.detectReordering(s.maxAckedIdx)
 	}
 	s.advanceHead()
 	if s.rc != nil {
@@ -603,7 +665,7 @@ const dupThreshold = 3
 // once the window has elapsed on the clock.
 func rackSweepEvent(a any) {
 	s := a.(*Subflow)
-	s.rackTimer = nil
+	s.rackTimer = sim.TimerRef{}
 	s.rackDetect(s.conn.eng.Now())
 	s.advanceHead()
 	if s.rc != nil {
@@ -644,8 +706,8 @@ func (s *Subflow) rackDetect(now sim.Time) {
 			nextCheck = deadline
 		}
 	}
-	if nextCheck > now && s.rackTimer == nil {
-		s.rackTimer = s.conn.eng.AtArg(nextCheck, rackSweepEvent, s)
+	if nextCheck > now && !s.rackTimer.Pending() {
+		s.rackTimer = s.conn.eng.ScheduleRef(nextCheck, rackSweepEvent, s)
 	}
 }
 
@@ -698,9 +760,17 @@ func (s *Subflow) advanceHead() {
 		}
 		s.outstanding[s.outHead] = nil
 		s.outHead++
+		s.conn.releaseRec(rec) // the outstanding slot's reference
 	}
 	if s.outHead > 1024 && s.outHead*2 > len(s.outstanding) {
-		s.outstanding = append([]*pktRec(nil), s.outstanding[s.outHead:]...)
+		// Compact in place: the live suffix slides down over the consumed
+		// prefix, reusing the backing array instead of allocating a copy.
+		n := copy(s.outstanding, s.outstanding[s.outHead:])
+		tail := s.outstanding[n:]
+		for i := range tail {
+			tail[i] = nil
+		}
+		s.outstanding = s.outstanding[:n]
 		s.outHead = 0
 	}
 }
@@ -746,7 +816,8 @@ func (s *Subflow) markLost(rec *pktRec, isRTO bool) {
 		rec.mi.onLost(rec.size)
 	}
 	if !rec.seg.delivered {
-		s.retx = append(s.retx, rec.seg)
+		rec.seg.refs++ // the retransmission queue's reference
+		s.retx.push(rec.seg)
 	}
 	if s.wc != nil && rec.idx >= s.recoverIdx {
 		// One congestion reaction per window of data.
