@@ -17,7 +17,8 @@ check:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -run '^$$' -bench BenchmarkEmulatorThroughput -benchtime 1x -benchmem .
+	$(GO) test -run 'SteadyStateAllocs' -count=1 .
+	$(GO) test -run '^$$' -bench 'BenchmarkEmulatorThroughput(Probed)?$$' -benchtime 1x -benchmem .
 	$(MAKE) examples
 
 # Build every example and smoke-run the trace-replay demo (short horizon via

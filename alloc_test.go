@@ -44,3 +44,50 @@ func TestEmulatorSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("steady-state emulator allocates %.1f times per %v chunk, want ≤ 8", avg, step)
 	}
 }
+
+// TestProbedSteadyStateAllocs is the enabled-observability twin: the same
+// saturated rig with a full probe pipeline attached — a metrics registry
+// (sketch-backed histograms plus windowed series), a flight-recorder ring,
+// link drop probes, and the periodic queue sampler — must also stop
+// allocating once warm. The sketch's fixed log-spaced buckets, the series'
+// preallocated windows, and the recorder's value-copy ring are what make
+// always-on telemetry affordable at population scale.
+func TestProbedSteadyStateAllocs(t *testing.T) {
+	eng := mpcc.NewEngine(7)
+	net := mpcc.NewNetwork(eng)
+	net.AddLink("l1", 100e6, 30*mpcc.Millisecond, 375_000)
+	net.AddLink("l2", 100e6, 30*mpcc.Millisecond, 375_000)
+
+	bus := mpcc.NewProbeBus(mpcc.NewFlightRecorder(0))
+	bus.SetRegistry(mpcc.NewMetricsRegistry())
+	var qps []mpcc.QueueProbe
+	for _, name := range []string{"l1", "l2"} {
+		l := net.Link(name)
+		l.SetProbes(bus)
+		qps = append(qps, l.QueueProbe())
+	}
+	mpcc.SampleQueues(eng, bus, 10*mpcc.Millisecond, qps...)
+	paths := []*mpcc.Path{net.Path("l1"), net.Path("l2")}
+	for _, p := range paths {
+		p.SetProbes(bus)
+	}
+	conn := mpcc.NewConnection(eng, "steady", mpcc.MPCCLoss, paths,
+		mpcc.AttachOptions{Probes: bus})
+	conn.SetApp(mpcc.Bulk{}, nil)
+	conn.Start(0)
+
+	horizon := 3 * mpcc.Second
+	eng.Run(horizon)
+
+	const (
+		rounds = 50
+		step   = 50 * mpcc.Millisecond
+	)
+	avg := testing.AllocsPerRun(rounds, func() {
+		horizon += step
+		eng.Run(horizon)
+	})
+	if avg > 8 {
+		t.Fatalf("probed steady-state allocates %.1f times per %v chunk, want ≤ 8", avg, step)
+	}
+}

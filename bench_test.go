@@ -202,3 +202,39 @@ func BenchmarkEmulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }
+
+// BenchmarkEmulatorThroughputProbed is the same rig with the full telemetry
+// pipeline enabled — metrics registry (sketches + windowed series), flight
+// recorder, link probes, queue sampler. The gap to BenchmarkEmulatorThroughput
+// is the all-in cost of always-on observability, gated like every other
+// benchmark through BENCH_results.json.
+func BenchmarkEmulatorThroughputProbed(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		eng := mpcc.NewEngine(int64(i))
+		net := mpcc.NewNetwork(eng)
+		net.AddLink("l1", 100e6, 30*mpcc.Millisecond, 375_000)
+		net.AddLink("l2", 100e6, 30*mpcc.Millisecond, 375_000)
+		bus := mpcc.NewProbeBus(mpcc.NewFlightRecorder(0))
+		bus.SetRegistry(mpcc.NewMetricsRegistry())
+		var qps []mpcc.QueueProbe
+		for _, name := range []string{"l1", "l2"} {
+			l := net.Link(name)
+			l.SetProbes(bus)
+			qps = append(qps, l.QueueProbe())
+		}
+		mpcc.SampleQueues(eng, bus, 10*mpcc.Millisecond, qps...)
+		paths := []*mpcc.Path{net.Path("l1"), net.Path("l2")}
+		for _, p := range paths {
+			p.SetProbes(bus)
+		}
+		conn := mpcc.NewConnection(eng, "bench", mpcc.MPCCLoss, paths,
+			mpcc.AttachOptions{Probes: bus})
+		conn.SetApp(mpcc.Bulk{}, nil)
+		conn.Start(0)
+		eng.Run(5 * mpcc.Second)
+		events += eng.Processed
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}

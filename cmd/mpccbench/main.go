@@ -7,6 +7,8 @@
 //	mpccbench -exp fig5a [-dur 20s] [-warmup 8s] [-reps 3] [-seed 42] [-full]
 //	mpccbench -exp all
 //	mpccbench -exp fig5a -trace fig5a.jsonl   # JSONL probe trace (forces -workers 1)
+//	mpccbench -exp fig5a -timeline fig5a.tl.jsonl   # windowed series dump per run (mpcctrace timeline)
+//	mpccbench -exp fig5a -flightrec fig5a.fr.jsonl  # last ring of probe events across the sweep
 //	mpccbench -exp fig14 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 package main
 
@@ -37,12 +39,19 @@ func main() {
 		csvdir  = flag.String("csvdir", "", "also write each table as CSV into this directory")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations per sweep (1 = sequential); output is identical for any value")
 		tracef  = flag.String("trace", "", "write a JSONL probe trace of every simulation to this file (forces -workers 1 for run-order reproducibility)")
+		timelf  = flag.String("timeline", "", "write each run's windowed series as a timeline-dump line to this file (mpcctrace timeline reads it; forces -workers 1)")
+		flrecf  = flag.String("flightrec", "", "write the flight recorder — the last ~4k probe events across all runs — to this file on exit (forces -workers 1)")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 	exp.SetWorkers(*workers)
 
+	// The observability taps share one wiring pattern: sinks shared by all
+	// runs, a fresh bus+registry per run, run-start/run-end markers segmenting
+	// the stream. Concurrent runs would interleave whole events safely but in
+	// nondeterministic order, so any tap forces sequential execution.
+	var sharedSinks []obs.Sink
 	if *tracef != "" {
 		f, err := os.Create(*tracef)
 		if err != nil {
@@ -51,11 +60,43 @@ func main() {
 		}
 		jw := obs.NewJSONLWriter(f)
 		defer jw.Close()
-		// One writer shared by all runs, a fresh bus+registry per run; the
-		// run-start/run-end markers segment the trace. Concurrent runs would
-		// interleave whole events safely but in nondeterministic order, so
-		// tracing forces sequential execution.
-		exp.SetProbeFactory(func() *obs.Bus { return obs.NewBus(jw) })
+		sharedSinks = append(sharedSinks, jw)
+	}
+	if *flrecf != "" {
+		f, err := os.Create(*flrecf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flightrec: %v\n", err)
+			os.Exit(1)
+		}
+		fr := obs.NewFlightRecorder(obs.DefaultFlightRecorderSize)
+		sharedSinks = append(sharedSinks, fr)
+		defer func() {
+			if err := fr.WriteJSONL(f); err != nil {
+				fmt.Fprintf(os.Stderr, "flightrec: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
+	if *timelf != "" {
+		f, err := os.Create(*timelf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "timeline: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runIdx := 0
+		var buf []byte
+		exp.SetSnapshotSink(func(_ int64, s *obs.Snapshot) {
+			buf = obs.AppendTimeline(buf[:0], runIdx, s.Series)
+			runIdx++
+			if _, err := f.Write(buf); err != nil {
+				fmt.Fprintf(os.Stderr, "timeline: %v\n", err)
+				os.Exit(1)
+			}
+		})
+	}
+	if len(sharedSinks) > 0 || *timelf != "" {
+		exp.SetProbeFactory(func() *obs.Bus { return obs.NewBus(sharedSinks...) })
 		exp.SetWorkers(1)
 	}
 	if *cpuprof != "" {

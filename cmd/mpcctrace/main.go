@@ -6,6 +6,7 @@
 //	mpcctrace summary [-run N] [trace.jsonl]
 //	mpcctrace filter [-kind k] [-flow f] [-link l] [-sf n] [-run N] [trace.jsonl]
 //	mpcctrace csv -kind k [-bucket 100ms] [-run N] [trace.jsonl]
+//	mpcctrace timeline [-window 100ms] [-csv] [-run N] [input.jsonl]
 //
 // With no file argument the trace is read from stdin. A trace may contain
 // several runs (segmented by run-start/run-end markers); -run selects one by
@@ -24,9 +25,18 @@
 // (drop, retransmit, sched-pick) aggregate as bytes per bucket, level
 // kinds (rate-change, mi-decision, utility, rto-backoff, queue-depth) as
 // the bucket mean.
+//
+// timeline renders the windowed per-path series (rate, RTT, queue depth) as
+// aligned columns, one row per time window — or plain CSV with -csv. It
+// accepts either an event trace (replayed through a fresh metrics registry,
+// window width set by -window) or a timeline dump written by mpccbench
+// -timeline (one obs.AppendTimeline line per run); the input form is
+// auto-detected per line.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -47,7 +57,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: mpcctrace <summary|filter|csv> [flags] [trace.jsonl]")
+	return fmt.Errorf("usage: mpcctrace <summary|filter|csv|timeline> [flags] [trace.jsonl]")
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
@@ -62,6 +72,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return cmdFilter(args, stdin, stdout)
 	case "csv":
 		return cmdCSV(args, stdin, stdout)
+	case "timeline":
+		return cmdTimeline(args, stdin, stdout)
 	default:
 		return usage()
 	}
@@ -223,8 +235,8 @@ func printSnapshot(w io.Writer, s *obs.Snapshot) {
 	fmt.Fprintln(w, "histograms:")
 	for _, name := range s.SortedHistogramNames() {
 		h := s.Histograms[name]
-		fmt.Fprintf(w, "  %-24s count=%d min=%g mean=%g p50=%g p90=%g p99=%g max=%g\n",
-			name, h.Count, h.Min, h.Mean, h.P50, h.P90, h.P99, h.Max)
+		fmt.Fprintf(w, "  %-24s count=%d min=%g mean=%g p50=%g p90=%g p99=%g p999=%g max=%g\n",
+			name, h.Count, h.Min, h.Mean, h.P50, h.P90, h.P99, h.P999, h.Max)
 	}
 }
 
@@ -321,6 +333,96 @@ func seriesKey(e obs.Event) string {
 		return fmt.Sprintf("%s/sf%d", e.Flow, e.Subflow)
 	}
 	return e.Flow
+}
+
+// ---- timeline ----
+
+func cmdTimeline(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("timeline", flag.ContinueOnError)
+	runSel := fs.Int("run", 0, "run to render (0-based)")
+	window := fs.Duration("window", 0, "series window width when replaying an event trace (0 = the registry default)")
+	csv := fs.Bool("csv", false, "emit plain CSV instead of aligned columns")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *runSel < 0 {
+		return fmt.Errorf("timeline: -run must name a single run")
+	}
+	in, done, err := openInput(fs, stdin)
+	if err != nil {
+		return err
+	}
+	defer done()
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+
+	if first := firstLine(data); obs.IsTimelineLine(first) {
+		// Timeline-dump input: one AppendTimeline line per run.
+		if *window != 0 {
+			return fmt.Errorf("timeline: -window only applies to event-trace input; dumps carry their own window")
+		}
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			idx, series, err := obs.ParseTimeline(line)
+			if err != nil {
+				return fmt.Errorf("timeline: %v", err)
+			}
+			if idx == *runSel {
+				return obs.RenderTimeline(stdout, series, *csv)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("timeline: no dump for run %d", *runSel)
+	}
+
+	// Event-trace input: replay the selected run through a fresh registry so
+	// the rendered series are identical to what the live run snapshotted.
+	reg := obs.NewRegistry()
+	if *window > 0 {
+		reg.SetSeriesWindow(sim.FromDuration(*window))
+	}
+	events := 0
+	if _, err := forEachRun(bytes.NewReader(data), *runSel, func(_ int, e obs.Event) error {
+		events++
+		reg.Record(e)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if events == 0 {
+		return fmt.Errorf("no events%s", selNote(*runSel))
+	}
+	series := reg.Snapshot().Series
+	if len(series) == 0 {
+		return fmt.Errorf("run %d has no series-bearing events (rate-change, rtt-sample, queue-depth)", *runSel)
+	}
+	return obs.RenderTimeline(stdout, series, *csv)
+}
+
+// firstLine returns the first non-empty line of data (without its newline).
+func firstLine(data []byte) []byte {
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, '\n')
+		var line []byte
+		if i < 0 {
+			line, data = data, nil
+		} else {
+			line, data = data[:i], data[i+1:]
+		}
+		if line = bytes.TrimSpace(line); len(line) > 0 {
+			return line
+		}
+	}
+	return nil
 }
 
 func cmdCSV(args []string, stdin io.Reader, stdout io.Writer) error {

@@ -63,6 +63,7 @@ func TestSummaryMatchesLiveSnapshots(t *testing.T) {
 			fmt.Sprintf("count=%d", qd.Count),
 			fmt.Sprintf("p50=%g", qd.P50),
 			fmt.Sprintf("p99=%g", qd.P99),
+			fmt.Sprintf("p999=%g", qd.P999),
 		} {
 			if !strings.Contains(out, frag) {
 				t.Errorf("run %d summary missing %q for queue_depth_bytes\noutput:\n%s", runIdx, frag, out)
@@ -239,6 +240,79 @@ func TestCSVExport(t *testing.T) {
 	}
 	if _, err := runTool(t, []string{"csv"}, trace); err == nil {
 		t.Fatal("missing -kind accepted")
+	}
+}
+
+// TestTimelineFromEventTrace checks the acceptance path: replaying an event
+// trace renders exactly the windowed series the live run snapshotted.
+func TestTimelineFromEventTrace(t *testing.T) {
+	trace, snaps := liveTrace(t)
+	for runIdx, snap := range snaps {
+		var want bytes.Buffer
+		if err := obs.RenderTimeline(&want, snap.Series, true); err != nil {
+			t.Fatal(err)
+		}
+		out, err := runTool(t, []string{"timeline", "-run", strconv.Itoa(runIdx), "-csv"}, trace)
+		if err != nil {
+			t.Fatalf("timeline -run %d: %v", runIdx, err)
+		}
+		if out != want.String() {
+			t.Errorf("run %d: replayed timeline differs from live series\ngot:\n%s\nwant:\n%s", runIdx, out, want.String())
+		}
+	}
+	// Aligned-column mode carries the same header keys.
+	out, err := runTool(t, []string{"timeline"}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"t_seconds", "rate_bps mp/sf0", "rtt_s mp/sf0", "queue_bytes link1"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("aligned timeline missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestTimelineFromDump feeds the tool a timeline dump (the mpccbench
+// -timeline format) and checks run selection and window-flag rejection.
+func TestTimelineFromDump(t *testing.T) {
+	_, snaps := liveTrace(t)
+	var dump []byte
+	for i, snap := range snaps {
+		dump = obs.AppendTimeline(dump, i, snap.Series)
+	}
+	for runIdx, snap := range snaps {
+		var want bytes.Buffer
+		if err := obs.RenderTimeline(&want, snap.Series, true); err != nil {
+			t.Fatal(err)
+		}
+		out, err := runTool(t, []string{"timeline", "-run", strconv.Itoa(runIdx), "-csv"}, dump)
+		if err != nil {
+			t.Fatalf("timeline dump -run %d: %v", runIdx, err)
+		}
+		if out != want.String() {
+			t.Errorf("run %d: dump render differs from live series", runIdx)
+		}
+	}
+	if _, err := runTool(t, []string{"timeline", "-run", "9"}, dump); err == nil {
+		t.Error("missing run in dump not rejected")
+	}
+	if _, err := runTool(t, []string{"timeline", "-window", "50ms"}, dump); err == nil {
+		t.Error("-window accepted for dump input")
+	}
+}
+
+func TestTimelineWindowFlag(t *testing.T) {
+	trace, _ := liveTrace(t)
+	narrow, err := runTool(t, []string{"timeline", "-window", "500ms", "-csv"}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := runTool(t, []string{"timeline", "-csv"}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn, nd := strings.Count(narrow, "\n"), strings.Count(def, "\n"); nn >= nd {
+		t.Errorf("500ms windows should yield fewer rows than 100ms: %d vs %d", nn, nd)
 	}
 }
 

@@ -38,8 +38,19 @@ func TestRunSnapshotsRegistry(t *testing.T) {
 	if s.Histograms["queue_depth_bytes"].Count == 0 {
 		t.Error("no queue-depth samples recorded")
 	}
+	if rtt := s.Histograms["rtt_seconds"]; rtt.Count == 0 || rtt.P50 <= 0 {
+		t.Errorf("no RTT samples recorded: %+v", rtt)
+	}
 	if s.Gauges["sim.events_processed"] <= 0 || s.Gauges["sim.max_pending_timers"] <= 0 {
 		t.Errorf("engine gauges missing: %+v", s.Gauges)
+	}
+	// Windowed series come out of every probed run: per-subflow rate and
+	// RTT trajectories plus per-link queue depth.
+	for _, key := range []string{"rate_bps mp/sf0", "rtt_s mp/sf0", "queue_bytes link1"} {
+		sd := s.Series[key]
+		if sd == nil || sd.Windows() == 0 {
+			t.Errorf("series %q missing or empty; have %v", key, obs.SortedSeriesKeys(s.Series))
+		}
 	}
 
 	// Without a bus there is no snapshot and the run result is unchanged.
@@ -113,6 +124,13 @@ func TestTraceReplayMatchesSnapshot(t *testing.T) {
 		if rs.Histograms[name] != res.Obs.Histograms[name] {
 			t.Errorf("histogram %s: replayed %+v, live %+v", name, rs.Histograms[name], res.Obs.Histograms[name])
 		}
+	}
+	// The windowed series rebuild identically from the trace: serialize both
+	// sides as a timeline dump and require byte equality.
+	live := obs.AppendTimeline(nil, 0, res.Obs.Series)
+	rep := obs.AppendTimeline(nil, 0, rs.Series)
+	if !bytes.Equal(live, rep) {
+		t.Errorf("replayed series differ from live:\nlive: %s\nreplayed: %s", live, rep)
 	}
 }
 

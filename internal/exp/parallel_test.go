@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"mpcc/internal/obs"
 	"mpcc/internal/sim"
 	"mpcc/internal/topo"
 )
@@ -86,6 +87,48 @@ func TestRunAveragedParallelIdentical(t *testing.T) {
 	}
 	if !reflect.DeepEqual(seq.Flows, par.Flows) {
 		t.Errorf("per-flow results differ between workers=1 and workers=8")
+	}
+}
+
+// TestRunAveragedSnapshotWorkerIdentity is the acceptance test for mergeable
+// telemetry: with a per-run probe factory installed, the merged snapshot of a
+// RunAveraged sweep must be identical for any worker count — counters,
+// gauges, sketch-backed histogram stats, and the serialized windowed series.
+func TestRunAveragedSnapshotWorkerIdentity(t *testing.T) {
+	runMerged := func(workers int) *Result {
+		SetProbeFactory(func() *obs.Bus { return obs.NewBus() })
+		defer SetProbeFactory(nil)
+		var res *Result
+		withWorkers(workers, func() { res = RunAveraged(quickSpec(11), 4) })
+		return res
+	}
+	seq := runMerged(1)
+	if seq.Obs == nil {
+		t.Fatal("probed RunAveraged produced no snapshot")
+	}
+	// Counters summed over 4 replicates, not the first replicate alone.
+	one := Run(func() Spec { s := quickSpec(11); s.Probes = obs.NewBus(); return s }())
+	if seq.Obs.Counters["sched_picks"] <= one.Obs.Counters["sched_picks"] {
+		t.Errorf("merged counters look like a single replicate: %v vs %v",
+			seq.Obs.Counters["sched_picks"], one.Obs.Counters["sched_picks"])
+	}
+	for _, w := range []int{2, 8} {
+		par := runMerged(w)
+		if !reflect.DeepEqual(seq.Obs.Counters, par.Obs.Counters) {
+			t.Errorf("workers=%d: merged counters differ", w)
+		}
+		if !reflect.DeepEqual(seq.Obs.Gauges, par.Obs.Gauges) {
+			t.Errorf("workers=%d: merged gauges differ", w)
+		}
+		if !reflect.DeepEqual(seq.Obs.Histograms, par.Obs.Histograms) {
+			t.Errorf("workers=%d: merged histogram stats differ:\nseq %+v\npar %+v",
+				w, seq.Obs.Histograms, par.Obs.Histograms)
+		}
+		a := obs.AppendTimeline(nil, 0, seq.Obs.Series)
+		b := obs.AppendTimeline(nil, 0, par.Obs.Series)
+		if !bytes.Equal(a, b) {
+			t.Errorf("workers=%d: merged series not byte-identical", w)
+		}
 	}
 }
 

@@ -89,8 +89,11 @@ type Result struct {
 	Notes []string
 	// Obs is the run's metrics-registry snapshot (drops by cause,
 	// retransmits, queue-depth percentiles, MI counts per phase, engine
-	// gauges). nil when the run had no probe bus. RunAveraged reports the
-	// first replicate's snapshot.
+	// gauges, windowed series). nil when the run had no probe bus.
+	// RunAveraged folds the replicates' snapshots in replicate order:
+	// counters sum, gauges keep the high-water mark, histograms merge at
+	// the sketch level, series add element-wise — so the merged snapshot
+	// is identical for any worker count.
 	Obs *obs.Snapshot
 }
 
@@ -176,6 +179,9 @@ func Run(s Spec) *Result {
 			reg.Gauge("sim.events_processed").Set(float64(eng.Processed))
 			reg.Gauge("sim.max_pending_timers").Set(float64(eng.MaxPending()))
 			res.Obs = reg.Snapshot()
+			if snapshotSink != nil {
+				snapshotSink(s.Seed, res.Obs)
+			}
 		}
 		bus.RunEnd(eng.Now())
 	}
@@ -261,6 +267,9 @@ func RunAveraged(s Spec, reps int) *Result {
 func mergeInto(agg, res *Result) {
 	agg.Utilization += res.Utilization
 	agg.Jain += res.Jain
+	if agg.Obs != nil && res.Obs != nil {
+		agg.Obs.Merge(res.Obs)
+	}
 	for name, fr := range res.Flows {
 		a := agg.Flows[name]
 		if a == nil {

@@ -90,6 +90,7 @@ func (jw *JSONLWriter) Close() error {
 //	spurious-retx: t, kind, flow, sf, bytes, rto
 //	shaper-delay: t, kind, link, bytes, delay_s
 //	handover:     t, kind, link, rate_bps, delay_s
+//	rtt-sample:   t, kind, flow, sf, rtt_s
 func AppendEvent(b []byte, e Event) []byte {
 	b = append(b, `{"t":`...)
 	b = strconv.AppendInt(b, int64(e.At), 10)
@@ -156,6 +157,9 @@ func AppendEvent(b []byte, e Event) []byte {
 		b = appendStr(b, "link", e.Link)
 		b = appendFloat(b, "rate_bps", e.Value)
 		b = appendFloat(b, "delay_s", e.Aux)
+	case KindRTTSample:
+		b = appendFlowSF(b, e)
+		b = appendFloat(b, "rtt_s", e.Value)
 	}
 	return append(b, '}', '\n')
 }
@@ -224,6 +228,7 @@ type jsonEvent struct {
 	ReoWndS  float64  `json:"reo_wnd_s"`
 	RTOFlag  float64  `json:"rto"`
 	DelayS   float64  `json:"delay_s"`
+	RTTs     float64  `json:"rtt_s"`
 }
 
 // ParseEvent decodes one JSONL trace line back into an Event.
@@ -282,6 +287,8 @@ func ParseEvent(line []byte) (Event, error) {
 	case KindHandover:
 		e.Value = je.RateBps
 		e.Aux = je.DelayS
+	case KindRTTSample:
+		e.Value = je.RTTs
 	}
 	return e, nil
 }

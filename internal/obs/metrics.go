@@ -1,6 +1,10 @@
 package obs
 
-import "sort"
+import (
+	"sort"
+
+	"mpcc/internal/sim"
+)
 
 // Registry is a per-run metrics store: named counters, gauges, and
 // histograms, plus pre-resolved handles for the metrics the bus maintains
@@ -35,6 +39,8 @@ type Registry struct {
 	miByPhase    map[string]*Counter
 	queueDepth   *Histogram
 	utility      *Histogram
+	rtt          *Histogram
+	series       *seriesStore
 }
 
 // NewRegistry returns an empty registry with the builtin metrics
@@ -66,7 +72,19 @@ func NewRegistry() *Registry {
 	r.handovers = r.Counter("handovers")
 	r.queueDepth = r.Histogram("queue_depth_bytes")
 	r.utility = r.Histogram("utility")
+	r.rtt = r.Histogram("rtt_seconds")
+	r.series = newSeriesStore(DefaultSeriesWindow, r.Counter("series.dropped"))
 	return r
+}
+
+// SetSeriesWindow overrides the windowed-series width. Call it before the
+// first event: it resets the series store, discarding anything folded so
+// far (trace replayers use it to re-bucket at a different resolution).
+func (r *Registry) SetSeriesWindow(w sim.Time) {
+	if w <= 0 {
+		w = DefaultSeriesWindow
+	}
+	r.series = newSeriesStore(w, r.Counter("series.dropped"))
 }
 
 // Counter returns (creating if needed) the named monotonic counter.
@@ -115,6 +133,7 @@ func (r *Registry) Record(e Event) {
 		r.retxBytes.Add(float64(e.Bytes))
 	case KindQueueDepth:
 		r.queueDepth.Observe(float64(e.Bytes))
+		r.series.observe(seriesID{seriesQueue, e.Link, -1}, e.At, float64(e.Bytes))
 	case KindMIDecision:
 		c, ok := r.miByPhase[e.State]
 		if !ok {
@@ -134,6 +153,7 @@ func (r *Registry) Record(e Event) {
 		r.schedPicks.Inc()
 	case KindRateChange:
 		r.rateChanges.Inc()
+		r.series.observe(seriesID{seriesRate, e.Flow, e.Subflow}, e.At, e.Value)
 	case KindReorder:
 		r.reorders.Inc()
 	case KindDuplicate:
@@ -148,6 +168,9 @@ func (r *Registry) Record(e Event) {
 		r.shaperDelays.Inc()
 	case KindHandover:
 		r.handovers.Inc()
+	case KindRTTSample:
+		r.rtt.Observe(e.Value)
+		r.series.observe(seriesID{seriesRTT, e.Flow, e.Subflow}, e.At, e.Value)
 	}
 }
 
@@ -172,82 +195,30 @@ func (g *Gauge) Set(v float64) { g.v = v }
 // Value returns the last-written value.
 func (g *Gauge) Value() float64 { return g.v }
 
-// Histogram records every observation exactly (per-run sample counts are
-// modest — queue sampling is a few thousand points), so quantiles are exact
-// nearest-rank values rather than bucket approximations, and a replayed
-// trace reproduces the live snapshot bit for bit.
-type Histogram struct {
-	samples []float64
-	sorted  bool
-}
-
-// Observe records one sample.
-func (h *Histogram) Observe(v float64) {
-	h.samples = append(h.samples, v)
-	h.sorted = false
-}
-
-// Count returns the number of samples.
-func (h *Histogram) Count() int { return len(h.samples) }
-
-// Quantile returns the nearest-rank q-quantile (q in [0,1]), or 0 with no
-// samples.
-func (h *Histogram) Quantile(q float64) float64 {
-	if len(h.samples) == 0 {
-		return 0
-	}
-	h.sort()
-	idx := int(q*float64(len(h.samples))) - 1
-	if q <= 0 || idx < 0 {
-		idx = 0
-	}
-	if idx >= len(h.samples) {
-		idx = len(h.samples) - 1
-	}
-	return h.samples[idx]
-}
-
-func (h *Histogram) sort() {
-	if !h.sorted {
-		sort.Float64s(h.samples)
-		h.sorted = true
-	}
-}
-
-// Stats summarizes the histogram.
-func (h *Histogram) Stats() HistogramStats {
-	st := HistogramStats{Count: len(h.samples)}
-	if st.Count == 0 {
-		return st
-	}
-	h.sort()
-	st.Min = h.samples[0]
-	st.Max = h.samples[len(h.samples)-1]
-	sum := 0.0
-	for _, v := range h.samples {
-		sum += v
-	}
-	st.Mean = sum / float64(st.Count)
-	st.P50 = h.Quantile(0.50)
-	st.P90 = h.Quantile(0.90)
-	st.P99 = h.Quantile(0.99)
-	return st
-}
-
-// HistogramStats is a histogram's snapshot form.
+// HistogramStats is a histogram's snapshot form. Quantiles are nearest-rank
+// (stats.NearestRank): exact below the sketch spill threshold, within
+// sketchAlpha relative error above it.
 type HistogramStats struct {
-	Count          int
-	Min, Max, Mean float64
-	P50, P90, P99  float64
+	Count               int
+	Min, Max, Mean      float64
+	P50, P90, P99, P999 float64
 }
 
 // Snapshot is a registry frozen at the end of a run, attached to
 // exp.Result. Maps are keyed by metric name; iterate SortedCounterNames and
-// friends for deterministic output.
+// friends for deterministic output. Series holds the windowed rate/RTT/queue
+// time series (see SeriesData). Snapshots merge: the sketch clones retained
+// internally make Merge exact, so a parallel sweep folds per-run snapshots
+// into one population-scale view.
 type Snapshot struct {
 	Counters   map[string]float64
 	Gauges     map[string]float64
 	Histograms map[string]HistogramStats
+	Series     map[string]*SeriesData
+
+	// sketches are clones of the live registry's histograms, kept so Merge
+	// can fold bucket state rather than approximating from HistogramStats.
+	sketches map[string]*Sketch
 }
 
 // Snapshot freezes the registry's current state.
@@ -256,6 +227,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		Counters:   make(map[string]float64, len(r.counters)),
 		Gauges:     make(map[string]float64, len(r.gauges)),
 		Histograms: make(map[string]HistogramStats, len(r.hists)),
+		sketches:   make(map[string]*Sketch, len(r.hists)),
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
@@ -265,8 +237,46 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Stats()
+		s.sketches[name] = h.Clone()
 	}
+	s.Series = r.series.snapshot()
 	return s
+}
+
+// Merge folds other into s: counters add, gauges keep the high-water mark,
+// histograms merge at the sketch level (then restate their stats), and
+// series add per window. Merging per-run snapshots in a fixed order yields
+// byte-identical results for any execution interleaving — the property the
+// parallel sweep runner's identity tests pin down. other is not modified.
+func (s *Snapshot) Merge(other *Snapshot) {
+	if other == nil {
+		return
+	}
+	for name, v := range other.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range other.Gauges {
+		if cur, ok := s.Gauges[name]; !ok || v > cur {
+			s.Gauges[name] = v
+		}
+	}
+	for name, osk := range other.sketches {
+		sk, ok := s.sketches[name]
+		if !ok {
+			sk = &Sketch{}
+			s.sketches[name] = sk
+		}
+		sk.Merge(osk)
+		s.Histograms[name] = sk.Stats()
+	}
+	for key, osd := range other.Series {
+		sd, ok := s.Series[key]
+		if !ok {
+			s.Series[key] = osd.clone()
+			continue
+		}
+		sd.merge(osd)
+	}
 }
 
 // SortedCounterNames returns the counter names in lexical order.

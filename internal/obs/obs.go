@@ -94,6 +94,10 @@ const (
 	// new rate and base delay. Value is the new rate in bits/s, Aux the new
 	// one-way propagation delay in seconds.
 	KindHandover
+	// KindRTTSample is a subflow acknowledging a packet: one smoothed-
+	// RTT-input sample, emitted at ACK-processing time. Value is the
+	// measured RTT in seconds.
+	KindRTTSample
 
 	numKinds
 )
@@ -102,7 +106,7 @@ var kindNames = [numKinds]string{
 	"mi-decision", "utility", "rate-change", "drop", "queue-depth",
 	"retransmit", "rto-backoff", "subflow-down", "subflow-up", "sched-pick",
 	"run-start", "run-end", "reorder", "duplicate", "ack-compress",
-	"rack-mark", "spurious-retx", "shaper-delay", "handover",
+	"rack-mark", "spurious-retx", "shaper-delay", "handover", "rtt-sample",
 }
 
 func (k Kind) String() string {
@@ -399,4 +403,12 @@ func (b *Bus) Handover(at sim.Time, link string, rateBps float64, delay sim.Time
 		return
 	}
 	b.Emit(Event{At: at, Kind: KindHandover, Link: link, Subflow: -1, Value: rateBps, Aux: delay.Seconds()})
+}
+
+// RTTSample records one per-ACK RTT measurement on a subflow.
+func (b *Bus) RTTSample(at sim.Time, flow string, sf int, rtt sim.Time) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindRTTSample, Flow: flow, Subflow: int32(sf), Value: rtt.Seconds()})
 }

@@ -32,6 +32,7 @@ func emitAll(b *Bus) {
 	b.SpuriousRetx(16e6, "flowA", 1, 1400, true)
 	b.ShaperDelay(17e6, "wifi", 1500, sim.Time(4e6))
 	b.Handover(18e6, "leo", 25e6, sim.Time(30e6))
+	b.RTTSample(19e6, "flowA", 0, sim.Time(35e6))
 }
 
 func TestNilBusHelpersAreNoOpsAndAllocationFree(t *testing.T) {

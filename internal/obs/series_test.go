@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mpcc/internal/sim"
+)
+
+// seriesBus returns a bus+registry pair for series tests.
+func seriesBus() (*Bus, *Registry) {
+	reg := NewRegistry()
+	b := NewBus()
+	b.SetRegistry(reg)
+	return b, reg
+}
+
+func TestSeriesFoldsWindows(t *testing.T) {
+	b, reg := seriesBus()
+	// Two rate changes in window 0, one in window 3; RTT samples on another
+	// subflow; queue depths on a link.
+	b.RateChange(10*sim.Millisecond, "mp", 0, 10e6)
+	b.RateChange(90*sim.Millisecond, "mp", 0, 20e6)
+	b.RateChange(350*sim.Millisecond, "mp", 0, 40e6)
+	b.RTTSample(120*sim.Millisecond, "mp", 1, 30*sim.Millisecond)
+	b.QueueDepth(250*sim.Millisecond, "link1", 4500)
+
+	s := reg.Snapshot()
+	rate := s.Series["rate_bps mp/sf0"]
+	if rate == nil {
+		t.Fatalf("missing rate series; have %v", SortedSeriesKeys(s.Series))
+	}
+	if rate.Window != DefaultSeriesWindow {
+		t.Errorf("window = %v", rate.Window)
+	}
+	if got, ok := rate.Mean(0); !ok || got != 15e6 {
+		t.Errorf("window 0 mean = %v (ok=%v), want 15e6", got, ok)
+	}
+	if _, ok := rate.Mean(1); ok {
+		t.Error("empty window reported a mean")
+	}
+	if got, ok := rate.Mean(3); !ok || got != 40e6 {
+		t.Errorf("window 3 mean = %v (ok=%v), want 40e6", got, ok)
+	}
+	if rtt := s.Series["rtt_s mp/sf1"]; rtt == nil {
+		t.Error("missing rtt series")
+	} else if got, ok := rtt.Mean(1); !ok || got != 0.03 {
+		t.Errorf("rtt window 1 = %v (ok=%v), want 0.03", got, ok)
+	}
+	if qd := s.Series["queue_bytes link1"]; qd == nil {
+		t.Error("missing queue series")
+	} else if got, ok := qd.Mean(2); !ok || got != 4500 {
+		t.Errorf("queue window 2 = %v (ok=%v), want 4500", got, ok)
+	}
+}
+
+func TestSeriesCardinalityGuard(t *testing.T) {
+	b, reg := seriesBus()
+	for i := 0; i < maxSeriesPerKind+8; i++ {
+		b.RateChange(sim.Millisecond, fmt.Sprintf("flow%03d", i), 0, 1e6)
+	}
+	s := reg.Snapshot()
+	nRate := 0
+	for key := range s.Series {
+		if strings.HasPrefix(key, "rate_bps ") {
+			nRate++
+		}
+	}
+	if nRate != maxSeriesPerKind {
+		t.Errorf("%d rate series, want cap %d", nRate, maxSeriesPerKind)
+	}
+	if got := s.Counters["series.dropped"]; got != 8 {
+		t.Errorf("series.dropped = %v, want 8", got)
+	}
+	// Existing labels keep accumulating after the cap trips.
+	b.RateChange(2*sim.Millisecond, "flow000", 0, 3e6)
+	if got := reg.Snapshot().Series["rate_bps flow000/sf0"].Count[0]; got != 2 {
+		t.Errorf("existing series stopped accumulating: count %d", got)
+	}
+}
+
+func TestSeriesObserveAllocFree(t *testing.T) {
+	b, reg := seriesBus()
+	// Warm: create the series and its first windows.
+	b.RateChange(0, "mp", 0, 1e6)
+	b.QueueDepth(0, "link1", 100)
+	b.RTTSample(0, "mp", 0, sim.Millisecond)
+	at := sim.Time(0)
+	if allocs := testing.AllocsPerRun(2000, func() {
+		at += 20 * sim.Microsecond // stays far inside preallocated windows
+		b.RateChange(at, "mp", 0, 2e6)
+		b.QueueDepth(at, "link1", 200)
+		b.RTTSample(at, "mp", 0, sim.Millisecond)
+	}); allocs != 0 {
+		t.Errorf("warm series observation allocated %.2f allocs/op, want 0", allocs)
+	}
+	_ = reg
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	mk := func(seed int) *Snapshot {
+		b, reg := seriesBus()
+		b.Drop(sim.Millisecond, "link1", CauseQueueFull, 1500)
+		for i := 0; i < 200; i++ {
+			b.QueueDepth(sim.Time(i)*10*sim.Millisecond, "link1", 1000*(i%7+seed))
+		}
+		b.RateChange(50*sim.Millisecond, "mp", 0, float64(seed)*1e6)
+		reg.Gauge("sim.events_processed").Set(float64(seed * 100))
+		return reg.Snapshot()
+	}
+	a, bsnap := mk(1), mk(5)
+	a.Merge(bsnap)
+	if got := a.Counters["drops.total"]; got != 2 {
+		t.Errorf("merged drops.total = %v, want 2", got)
+	}
+	if got := a.Gauges["sim.events_processed"]; got != 500 {
+		t.Errorf("merged gauge = %v, want high-water 500", got)
+	}
+	qd := a.Histograms["queue_depth_bytes"]
+	if qd.Count != 400 {
+		t.Errorf("merged histogram count = %d, want 400", qd.Count)
+	}
+	rate := a.Series["rate_bps mp/sf0"]
+	if rate == nil {
+		t.Fatal("merged snapshot lost the rate series")
+	}
+	if got, ok := rate.Mean(0); !ok || got != 3e6 {
+		t.Errorf("merged rate window 0 = %v (ok=%v), want mean 3e6", got, ok)
+	}
+
+	// Merge-order invariance at the snapshot level: fold A,B vs B,A.
+	x, y := mk(1), mk(5)
+	y.Merge(x)
+	for name, st := range a.Histograms {
+		if y.Histograms[name] != st {
+			t.Errorf("histogram %s differs across merge orders: %+v vs %+v", name, y.Histograms[name], st)
+		}
+	}
+	for name, v := range a.Counters {
+		if y.Counters[name] != v {
+			t.Errorf("counter %s differs across merge orders", name)
+		}
+	}
+}
+
+func TestSetSeriesWindow(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetSeriesWindow(sim.Second)
+	b := NewBus()
+	b.SetRegistry(reg)
+	b.RateChange(2500*sim.Millisecond, "mp", 0, 1e6)
+	sd := reg.Snapshot().Series["rate_bps mp/sf0"]
+	if sd.Window != sim.Second || sd.Windows() != 3 {
+		t.Errorf("window %v with %d windows, want 1s x 3", sd.Window, sd.Windows())
+	}
+}
+
+func TestTimelineDumpRoundTripAndRender(t *testing.T) {
+	b, reg := seriesBus()
+	b.RateChange(10*sim.Millisecond, "mp", 0, 10e6)
+	b.RateChange(250*sim.Millisecond, "mp", 1, 20e6)
+	b.QueueDepth(150*sim.Millisecond, "link1", 3000)
+	snap := reg.Snapshot()
+
+	line := AppendTimeline(nil, 3, snap.Series)
+	if !IsTimelineLine(bytes.TrimSpace(line)) {
+		t.Fatalf("timeline line not recognized: %s", line)
+	}
+	if IsTimelineLine([]byte(`{"t":0,"kind":"run-end"}`)) {
+		t.Fatal("event line misdetected as timeline")
+	}
+	// Byte stability.
+	if again := AppendTimeline(nil, 3, snap.Series); !bytes.Equal(line, again) {
+		t.Fatal("timeline dump not byte-stable")
+	}
+	runIdx, series, err := ParseTimeline(bytes.TrimSpace(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runIdx != 3 || len(series) != len(snap.Series) {
+		t.Fatalf("round trip lost data: run=%d series=%d", runIdx, len(series))
+	}
+	for key, sd := range snap.Series {
+		got := series[key]
+		if got == nil || got.Window != sd.Window || len(got.Sum) != len(sd.Sum) {
+			t.Errorf("series %q did not round-trip", key)
+		}
+	}
+
+	var text bytes.Buffer
+	if err := RenderTimeline(&text, series, false); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	for _, frag := range []string{"t_seconds", "queue_bytes link1", "rate_bps mp/sf0", "rate_bps mp/sf1", "1e+07", "0.100"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("timeline text missing %q:\n%s", frag, out)
+		}
+	}
+	var csv bytes.Buffer
+	if err := RenderTimeline(&csv, series, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if lines[0] != "t_seconds,queue_bytes link1,rate_bps mp/sf0,rate_bps mp/sf1" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if len(lines) != 1+3 { // windows 0..2
+		t.Errorf("csv rows = %d, want 4:\n%s", len(lines), csv.String())
+	}
+	if !strings.HasPrefix(lines[1], "0.000,,1e+07,") {
+		t.Errorf("csv row 0 = %q", lines[1])
+	}
+}

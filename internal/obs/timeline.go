@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mpcc/internal/sim"
+)
+
+// Timeline dump format: one JSON object per run holding that run's windowed
+// series — the compact "trajectories without a trace" artifact mpccbench
+// -timeline writes and mpcctrace timeline renders. Like the event JSONL,
+// lines are byte-stable: keys sorted, integer window width, shortest
+// round-trip floats.
+
+// timelineMagic distinguishes a timeline dump line from an event-trace line
+// (both are JSONL; events never carry a "window_ns" key).
+const timelineMagic = `"window_ns"`
+
+// AppendTimeline appends one run's timeline dump line (newline included).
+func AppendTimeline(b []byte, runIdx int, series map[string]*SeriesData) []byte {
+	b = append(b, `{"run":`...)
+	b = strconv.AppendInt(b, int64(runIdx), 10)
+	b = append(b, `,"window_ns":`...)
+	var window sim.Time
+	for _, sd := range series {
+		window = sd.Window
+		break
+	}
+	b = strconv.AppendInt(b, int64(window), 10)
+	b = append(b, `,"series":[`...)
+	for i, key := range SortedSeriesKeys(series) {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		sd := series[key]
+		b = append(b, `{"key":`...)
+		b = appendJSONString(b, key)
+		b = append(b, `,"sum":[`...)
+		for j, v := range sd.Sum {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendFloat(b, v, 'g', -1, 64)
+		}
+		b = append(b, `],"count":[`...)
+		for j, n := range sd.Count {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, n, 10)
+		}
+		b = append(b, `]}`...)
+	}
+	return append(b, ']', '}', '\n')
+}
+
+// timelineLine is the wire form of one dump line.
+type timelineLine struct {
+	Run      int   `json:"run"`
+	WindowNs int64 `json:"window_ns"`
+	Series   []struct {
+		Key   string    `json:"key"`
+		Sum   []float64 `json:"sum"`
+		Count []int64   `json:"count"`
+	} `json:"series"`
+}
+
+// ParseTimeline decodes one timeline dump line.
+func ParseTimeline(line []byte) (runIdx int, series map[string]*SeriesData, err error) {
+	var tl timelineLine
+	if err := json.Unmarshal(line, &tl); err != nil {
+		return 0, nil, err
+	}
+	if tl.WindowNs <= 0 {
+		return 0, nil, fmt.Errorf("obs: timeline line has no window_ns")
+	}
+	series = make(map[string]*SeriesData, len(tl.Series))
+	for _, s := range tl.Series {
+		if len(s.Sum) != len(s.Count) {
+			return 0, nil, fmt.Errorf("obs: timeline series %q: %d sums vs %d counts", s.Key, len(s.Sum), len(s.Count))
+		}
+		series[s.Key] = &SeriesData{Window: sim.Time(tl.WindowNs), Sum: s.Sum, Count: s.Count}
+	}
+	return tl.Run, series, nil
+}
+
+// RenderTimeline writes the per-window means of the series as aligned
+// columns (csv=false) or CSV (csv=true). Rows are windows from t=0; a cell
+// is blank when its window saw no samples. Keys render in lexical order.
+func RenderTimeline(w io.Writer, series map[string]*SeriesData, csv bool) error {
+	keys := SortedSeriesKeys(series)
+	if len(keys) == 0 {
+		return fmt.Errorf("no series to render")
+	}
+	var window sim.Time
+	windows := 0
+	for _, sd := range series {
+		if sd.Window > window {
+			window = sd.Window
+		}
+		if sd.Windows() > windows {
+			windows = sd.Windows()
+		}
+	}
+	prec := timelinePrecision(window)
+
+	cells := make([][]string, windows)
+	for i := range cells {
+		row := make([]string, len(keys)+1)
+		row[0] = strconv.FormatFloat((sim.Time(i) * window).Seconds(), 'f', prec, 64)
+		for j, key := range keys {
+			if m, ok := series[key].Mean(i); ok {
+				row[j+1] = strconv.FormatFloat(m, 'g', 6, 64)
+			}
+		}
+		cells[i] = row
+	}
+	header := append([]string{"t_seconds"}, keys...)
+
+	if csv {
+		for _, row := range append([][]string{header}, cells...) {
+			for j, c := range row {
+				if j > 0 {
+					if _, err := io.WriteString(w, ","); err != nil {
+						return err
+					}
+				}
+				if _, err := io.WriteString(w, c); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	widths := make([]int, len(header))
+	for j, h := range header {
+		widths[j] = len(h)
+	}
+	for _, row := range cells {
+		for j, c := range row {
+			if len(c) > widths[j] {
+				widths[j] = len(c)
+			}
+		}
+	}
+	for _, row := range append([][]string{header}, cells...) {
+		for j, c := range row {
+			if j > 0 {
+				if _, err := io.WriteString(w, "  "); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%*s", widths[j], c); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// timelinePrecision mirrors internal/trace's adaptive time precision:
+// enough decimals for the window width, never fewer than 3.
+func timelinePrecision(window sim.Time) int {
+	prec := 9
+	for d := window; prec > 3 && d > 0 && d%10 == 0; d /= 10 {
+		prec--
+	}
+	return prec
+}
+
+// IsTimelineLine reports whether a JSONL line is a timeline dump line
+// rather than an event-trace line.
+func IsTimelineLine(line []byte) bool {
+	return len(line) > 0 && line[0] == '{' && bytes.Contains(line, []byte(timelineMagic))
+}

@@ -16,21 +16,22 @@ import (
 // failure (the shrinker only accepts candidates that still violate the same
 // invariant).
 const (
-	InvTimeMonotonic = "time-monotonic"    // event timestamps never decrease, never pass the horizon
-	InvQueueBound    = "queue-bound"       // queue depth ≤ configured buffer + one in-service packet
-	InvSchedOnFailed = "sched-on-failed"   // no scheduler picks on a failed subflow
-	InvSubflowState  = "subflow-state"     // down/up transitions alternate
-	InvRateBounds    = "rate-bounds"       // controller rates within [MinRateBps, MaxRateBps]
-	InvConservation  = "link-conservation" // injected = delivered + dropped + in-queue per link
-	InvByteLedger    = "byte-ledger"       // acked ≤ received ≤ offered; delivered ≤ sent per subflow
-	InvDelivery      = "expect-delivery"   // flagged file flows complete by the horizon
-	InvCleanLoss     = "clean-loss"        // zero corrected loss on lossless reordered paths
-	InvProgressStall = "progress-stall"    // no delivery gap beyond k·RTO on lossless paths
-	InvPolicerEnv    = "policer-envelope"  // policed bytes within the rate/burst contract
-	InvHandoverSched = "handover-schedule" // handovers fire exactly on their scheduled instants
-	InvTraceEnv      = "trace-envelope"    // trace-replay links never deliver beyond the traced rate
-	InvTraceDetermin = "trace-determinism" // same scenario ⇒ same trace hash
-	InvParallelIdent = "parallel-identity" // sequential and parallel execution agree
+	InvTimeMonotonic  = "time-monotonic"    // event timestamps never decrease, never pass the horizon
+	InvQueueBound     = "queue-bound"       // queue depth ≤ configured buffer + one in-service packet
+	InvSchedOnFailed  = "sched-on-failed"   // no scheduler picks on a failed subflow
+	InvSubflowState   = "subflow-state"     // down/up transitions alternate
+	InvRateBounds     = "rate-bounds"       // controller rates within [MinRateBps, MaxRateBps]
+	InvConservation   = "link-conservation" // injected = delivered + dropped + in-queue per link
+	InvByteLedger     = "byte-ledger"       // acked ≤ received ≤ offered; delivered ≤ sent per subflow
+	InvDelivery       = "expect-delivery"   // flagged file flows complete by the horizon
+	InvCleanLoss      = "clean-loss"        // zero corrected loss on lossless reordered paths
+	InvProgressStall  = "progress-stall"    // no delivery gap beyond k·RTO on lossless paths
+	InvPolicerEnv     = "policer-envelope"  // policed bytes within the rate/burst contract
+	InvHandoverSched  = "handover-schedule" // handovers fire exactly on their scheduled instants
+	InvTraceEnv       = "trace-envelope"    // trace-replay links never deliver beyond the traced rate
+	InvTraceDetermin  = "trace-determinism" // same scenario ⇒ same trace hash
+	InvParallelIdent  = "parallel-identity" // sequential and parallel execution agree
+	InvSnapshotReplay = "snapshot-replay"   // replaying the trace rebuilds the live registry snapshot
 )
 
 // progressStallBound is the default forward-progress ceiling for lossless

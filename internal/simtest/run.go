@@ -1,6 +1,7 @@
 package simtest
 
 import (
+	"bytes"
 	"fmt"
 
 	ccmpcc "mpcc/internal/cc/mpcc"
@@ -17,6 +18,22 @@ type Report struct {
 	TraceHash string
 	Events    int // probe events hashed
 	Result    *exp.Result
+	// Flight is the run's flight recorder: a bounded ring holding the most
+	// recent probe events, so an oracle failure can attach the tail of the
+	// event history without the run having kept a full JSONL trace.
+	Flight *obs.FlightRecorder
+}
+
+// FlightDump renders the last n flight-recorder events as replayable JSONL
+// (the whole ring when n <= 0). Nil when the report has no recorder.
+func (r *Report) FlightDump(n int) []byte {
+	if r.Flight == nil {
+		return nil
+	}
+	if n <= 0 {
+		n = r.Flight.Len()
+	}
+	return r.Flight.AppendJSONL(nil, n)
 }
 
 // Failed reports whether any invariant was violated.
@@ -89,7 +106,8 @@ func CheckOpts(sc Scenario, opts Options) *Report {
 		}
 	}
 	hs := obs.NewHashSink()
-	bus := obs.NewBus(hs, o)
+	fr := obs.NewFlightRecorder(obs.DefaultFlightRecorderSize)
+	bus := obs.NewBus(hs, o, fr)
 	for _, s := range opts.Sinks {
 		bus.AddSink(s)
 	}
@@ -100,6 +118,7 @@ func CheckOpts(sc Scenario, opts Options) *Report {
 		TraceHash:  hs.Sum(),
 		Events:     hs.Events(),
 		Result:     res,
+		Flight:     fr,
 	}
 }
 
@@ -117,6 +136,51 @@ func CheckDeterminism(sc Scenario) *Report {
 		})
 	}
 	return r1
+}
+
+// SnapshotReplayIdentity is the replay-equals-live sketch oracle: it runs the
+// scenario once with a JSONL trace sink, replays the trace through a fresh
+// metrics registry, and requires the rebuilt snapshot — counters, sketch-backed
+// histogram stats, and the serialized windowed series — to match the live one
+// exactly. Engine gauges (sim.*) are excluded: they come from the engine, not
+// the event stream. Returns one violation per divergent metric.
+func SnapshotReplayIdentity(sc Scenario) []Violation {
+	var buf bytes.Buffer
+	jw := obs.NewJSONLWriter(&buf)
+	r := CheckOpts(sc, Options{Sinks: []obs.Sink{jw}})
+	var out []Violation
+	if err := jw.Flush(); err != nil {
+		return append(out, Violation{Invariant: InvSnapshotReplay, Detail: fmt.Sprintf("trace flush: %v", err)})
+	}
+	live := r.Result.Obs
+	if live == nil {
+		return append(out, Violation{Invariant: InvSnapshotReplay, Detail: "probed run produced no snapshot"})
+	}
+	replayed := obs.NewRegistry()
+	if err := obs.ReadTrace(&buf, func(e obs.Event) error {
+		replayed.Record(e)
+		return nil
+	}); err != nil {
+		return append(out, Violation{Invariant: InvSnapshotReplay, Detail: fmt.Sprintf("trace replay: %v", err)})
+	}
+	rs := replayed.Snapshot()
+	for _, name := range live.SortedCounterNames() {
+		if rs.Counters[name] != live.Counters[name] {
+			out = append(out, Violation{Invariant: InvSnapshotReplay,
+				Detail: fmt.Sprintf("counter %s: live %v, replayed %v", name, live.Counters[name], rs.Counters[name])})
+		}
+	}
+	for _, name := range live.SortedHistogramNames() {
+		if rs.Histograms[name] != live.Histograms[name] {
+			out = append(out, Violation{Invariant: InvSnapshotReplay,
+				Detail: fmt.Sprintf("histogram %s: live %+v, replayed %+v", name, live.Histograms[name], rs.Histograms[name])})
+		}
+	}
+	if a, b := obs.AppendTimeline(nil, 0, live.Series), obs.AppendTimeline(nil, 0, rs.Series); !bytes.Equal(a, b) {
+		out = append(out, Violation{Invariant: InvSnapshotReplay,
+			Detail: "windowed series diverge between live run and trace replay"})
+	}
+	return out
 }
 
 // ParallelIdentity checks the other half of replay determinism: auditing the

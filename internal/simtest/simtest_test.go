@@ -1,6 +1,8 @@
 package simtest
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"strconv"
 	"strings"
@@ -68,14 +70,35 @@ func TestRandomScenarios(t *testing.T) {
 	}
 }
 
-// reportFailure shrinks a failing report and logs the minimal reproducer.
+// reportFailure shrinks a failing report and logs the minimal reproducer,
+// attaching the flight-recorder tail: the full ring goes to a file, the last
+// few events inline.
 func reportFailure(t *testing.T, r *Report, opts Options) {
 	t.Helper()
 	target := r.Invariants()[0]
 	sh := Shrink(r.Scenario, target, opts)
-	t.Errorf("scenario seed %d violates %q:\n  %s\noriginal: %s\nshrunk (%d steps, %d checks): %s\nrepro: %s",
+	t.Errorf("scenario seed %d violates %q:\n  %s\noriginal: %s\nshrunk (%d steps, %d checks): %s\nrepro: %s\n%s",
 		r.Scenario.Seed, target, formatViolations(r.Violations),
-		r.Scenario, sh.Steps, sh.Checks, sh.Scenario, sh.Scenario.ReproCommand())
+		r.Scenario, sh.Steps, sh.Checks, sh.Scenario, sh.Scenario.ReproCommand(),
+		flightSummary(r))
+}
+
+// flightSummary dumps the report's flight recorder: the whole ring to a temp
+// file (replayable with mpcctrace), the last 16 events inline.
+func flightSummary(r *Report) string {
+	full := r.FlightDump(0)
+	if len(full) == 0 {
+		return "flight recorder: empty"
+	}
+	loc := "(temp file write failed; tail only)"
+	if f, err := os.CreateTemp("", "mpcc-flightrec-*.jsonl"); err == nil {
+		if _, err := f.Write(full); err == nil {
+			loc = f.Name()
+		}
+		f.Close()
+	}
+	return fmt.Sprintf("flight recorder: last %d of %d events -> %s; tail:\n%s",
+		r.Flight.Len(), r.Flight.Total(), loc, r.FlightDump(16))
 }
 
 func formatViolations(vs []Violation) string {
@@ -248,6 +271,50 @@ func scenarioSize(sc Scenario) int {
 		n += 1 + len(f.Paths)
 	}
 	return n
+}
+
+// TestCheckAttachesFlightRecorder pins the dump-on-failure plumbing: every
+// Check carries a flight recorder whose contents are the trace tail, are
+// deterministic across identical runs, and replay as a valid trace.
+func TestCheckAttachesFlightRecorder(t *testing.T) {
+	sc := FromSeed(1)
+	r1, r2 := Check(sc), Check(sc)
+	if r1.Flight == nil || r1.Flight.Len() == 0 {
+		t.Fatal("Check produced no flight recording")
+	}
+	if r1.Flight.Total() != int64(r1.Events) {
+		t.Errorf("recorder saw %d events, hash sink saw %d", r1.Flight.Total(), r1.Events)
+	}
+	a, b := r1.FlightDump(0), r2.FlightDump(0)
+	if len(a) == 0 || !bytes.Equal(a, b) {
+		t.Fatal("flight dumps differ between identical runs")
+	}
+	n := 0
+	if err := obs.ReadTrace(bytes.NewReader(a), func(obs.Event) error {
+		n++
+		return nil
+	}); err != nil {
+		t.Fatalf("flight dump not replayable: %v", err)
+	}
+	if n != r1.Flight.Len() {
+		t.Fatalf("dump has %d events, recorder holds %d", n, r1.Flight.Len())
+	}
+	// The failure report embeds the dump.
+	if s := flightSummary(r1); !strings.Contains(s, "flight recorder: last") {
+		t.Errorf("flight summary malformed: %s", s)
+	}
+}
+
+// TestSnapshotReplayIdentity runs the replay-equals-live sketch oracle over a
+// few generated scenarios: replaying a run's JSONL trace through a fresh
+// registry must rebuild the exact live snapshot (counters, sketch-backed
+// histogram stats, windowed series).
+func TestSnapshotReplayIdentity(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, v := range SnapshotReplayIdentity(FromSeed(seed)) {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+	}
 }
 
 // TestTraceDeterminism asserts the replay gate: the same scenario always

@@ -66,29 +66,74 @@ func Max(xs []float64) float64 {
 	return m
 }
 
-// Percentile returns the p-th percentile (0..100) of xs using linear
-// interpolation between closest ranks. It copies xs; the input is not
-// modified. An empty input yields 0.
+// QuantileConvention selects one of the repo's two quantile definitions.
+// Both are implemented by QuantileSorted, the single routing point for every
+// quantile computed anywhere in the codebase.
+//
+// The convention, documented once here:
+//
+//   - NearestRank returns an actual sample: the value at index
+//     ⌊q·N⌋−1 (clamped to [0, N−1]) of the sorted input. Telemetry
+//     aggregation (obs histograms and sketches) uses this, because a reported
+//     tail value should be something that was really observed, and because it
+//     is reproducible from a quantile sketch's discrete buckets.
+//   - Interpolated linearly interpolates between the two closest ranks at
+//     rank q·(N−1) — the NumPy/matplotlib default. Experiment tables and
+//     figures (Percentile, Summarize) use this, matching the paper's plots.
+type QuantileConvention int
+
+// The quantile conventions (see QuantileConvention).
+const (
+	NearestRank QuantileConvention = iota
+	Interpolated
+)
+
+// QuantileSorted returns the q-quantile (q in [0,1]) of an already-sorted
+// slice under the given convention. An empty input yields 0; q is clamped to
+// [0,1].
+func QuantileSorted(sorted []float64, q float64, conv QuantileConvention) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	switch conv {
+	case Interpolated:
+		rank := q * float64(n-1)
+		lo := int(math.Floor(rank))
+		hi := int(math.Ceil(rank))
+		if lo == hi {
+			return sorted[lo]
+		}
+		frac := rank - float64(lo)
+		return sorted[lo]*(1-frac) + sorted[hi]*frac
+	default: // NearestRank
+		idx := int(q*float64(n)) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		return sorted[idx]
+	}
+}
+
+// Percentile returns the p-th percentile (0..100) of xs under the
+// Interpolated convention (see QuantileConvention). It copies xs; the input
+// is not modified. An empty input yields 0.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
-	if p <= 0 {
-		return s[0]
-	}
-	if p >= 100 {
-		return s[len(s)-1]
-	}
-	rank := p / 100 * float64(len(s)-1)
-	lo := int(math.Floor(rank))
-	hi := int(math.Ceil(rank))
-	if lo == hi {
-		return s[lo]
-	}
-	frac := rank - float64(lo)
-	return s[lo]*(1-frac) + s[hi]*frac
+	return QuantileSorted(s, p/100, Interpolated)
 }
 
 // Median returns the 50th percentile of xs.

@@ -602,6 +602,7 @@ func (s *Subflow) ackOne(rec *pktRec, sawAck, sawSpurious *bool) {
 	s.inflightPkts--
 	s.deliverOnce(rec.seg, now)
 	s.conn.onRTTSample(now, rtt)
+	s.conn.probes.RTTSample(now, s.conn.Name, s.id, rtt)
 
 	if rec.mi != nil {
 		rec.mi.onAck(rec.size, rec.sentAt, rtt)

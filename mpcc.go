@@ -94,6 +94,12 @@ type (
 	JSONLWriter = obs.JSONLWriter
 	// QueueProbe exposes one link's queue depth to SampleQueues.
 	QueueProbe = obs.QueueProbe
+	// MetricsSeries is one windowed time series of a MetricsSnapshot
+	// (per-subflow rate and RTT, per-link queue depth).
+	MetricsSeries = obs.SeriesData
+	// FlightRecorder is a bounded ring of the most recent probe events — a
+	// ProbeSink whose contents dump as replayable JSONL after a failure.
+	FlightRecorder = obs.FlightRecorder
 	// TokenBucket meters bytes against a rate/burst contract (the model
 	// behind Link.SetPolicer and Link.SetShaper).
 	TokenBucket = netem.TokenBucket
@@ -198,6 +204,16 @@ func NewJSONLWriter(w io.Writer) *JSONLWriter { return obs.NewJSONLWriter(w) }
 // called.
 func SampleQueues(eng *Engine, b *ProbeBus, every Time, probes ...QueueProbe) (stop func()) {
 	return obs.SampleQueues(eng, b, every, probes...)
+}
+
+// NewFlightRecorder returns a flight recorder holding the last size probe
+// events (size <= 0 picks the 4096-event default). Add it to a bus as a sink;
+// once warm it records without allocating.
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = obs.DefaultFlightRecorderSize
+	}
+	return obs.NewFlightRecorder(size)
 }
 
 // WithProbes attaches an observability bus to a Connection being built via
