@@ -55,6 +55,7 @@ simtest:
 # Short fuzz pass over every native fuzz target.
 fuzz:
 	$(GO) test ./internal/sim -fuzz FuzzTimingWheel -fuzztime 10s
+	$(GO) test ./internal/sim -fuzz FuzzShardSync -fuzztime 10s
 	$(GO) test ./internal/fairness -fuzz FuzzParse -fuzztime 10s
 	$(GO) test ./internal/transport -fuzz FuzzRangeSet -fuzztime 10s
 	$(GO) test ./internal/transport -fuzz FuzzFaultTimeline -fuzztime 10s

@@ -203,6 +203,36 @@ func BenchmarkEmulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }
 
+// benchSharded runs one Clusters(4) experiment per iteration — four
+// independent Fig3c-style clusters, eight flows over eight links — through
+// the space-parallel engine with the given worker count. The probe trace is
+// byte-identical for every shard count (see internal/exp/sharded_test.go),
+// so the events/op column is constant and the ns/op gap between Sharded1
+// and Sharded4 is exactly what engine-level parallelism buys (or costs,
+// on a single-core host) for one large simulation.
+func benchSharded(b *testing.B, shards int) {
+	b.Helper()
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res := exp.Run(exp.Spec{
+			Seed:     int64(i + 1),
+			Duration: 2 * sim.Second,
+			Topo:     topo.Clusters(4),
+			Proto:    exp.MPCCLoss,
+			Shards:   shards,
+		})
+		if res.Events == 0 {
+			b.Fatal("sharded run processed no events")
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+func BenchmarkEmulatorThroughputSharded1(b *testing.B) { benchSharded(b, 1) }
+func BenchmarkEmulatorThroughputSharded4(b *testing.B) { benchSharded(b, 4) }
+
 // BenchmarkEmulatorThroughputProbed is the same rig with the full telemetry
 // pipeline enabled — metrics registry (sketches + windowed series), flight
 // recorder, link probes, queue sampler. The gap to BenchmarkEmulatorThroughput

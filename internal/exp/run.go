@@ -50,6 +50,19 @@ type Spec struct {
 	Proto Protocol // used when Flows is nil
 	// SPProto overrides the single-path peer protocol (Figs. 12–13 use Cubic).
 	SPProto Protocol
+	// Shards selects space-parallel execution: the topology is partitioned
+	// into interaction components (topo.PartitionLinks), each component runs
+	// on its own engine, and up to Shards worker goroutines advance them
+	// under the conservative scheduler (sim.Group). The shard count only
+	// sets worker parallelism — the partition, per-shard seeds, and event
+	// orders are fixed by the topology — so any Shards >= 1 produces
+	// byte-identical traces and snapshots, and on single-component
+	// topologies (every flow interacting, e.g. the golden-trace figures)
+	// the output is additionally byte-identical to the unsharded engine.
+	// 0 consults the package default (SetShards); negative forces the
+	// legacy single-engine path regardless of the default. Sharded
+	// execution requires Duration > 0.
+	Shards int
 }
 
 // FlowResult summarizes one connection after a run.
@@ -95,6 +108,10 @@ type Result struct {
 	// the sketch level, series add element-wise — so the merged snapshot
 	// is identical for any worker count.
 	Obs *obs.Snapshot
+	// Events is the number of simulation events the run processed, summed
+	// over shard engines; RunAveraged sums it over replicates. Throughput
+	// benchmarks report it as events/op.
+	Events uint64
 }
 
 // flowsFor derives the flow specs from a topology and the spec's protocols.
@@ -117,9 +134,14 @@ func (s *Spec) flowsFor() []FlowSpec {
 	return out
 }
 
-// Run executes the spec and summarizes it.
+// Run executes the spec and summarizes it. When the spec (or the package
+// default) selects sharding, the run is dispatched to the space-parallel
+// engine; see Spec.Shards for the determinism contract.
 func Run(s Spec) *Result {
 	defer countSim()
+	if workers := s.shardWorkers(); workers > 0 {
+		return runSharded(s, workers)
+	}
 	eng := sim.NewEngine(s.Seed)
 	bus := s.Probes
 	if bus == nil && probeFactory != nil {
@@ -172,18 +194,26 @@ func Run(s Spec) *Result {
 		conns[f.Name] = conn
 	}
 	eng.Run(s.Duration)
+	return finish(s, net, conns, bus, eng.Processed, eng.MaxPending(), eng.Now())
+}
 
-	res := &Result{Flows: make(map[string]*FlowResult, len(conns)), Net: net, Conns: conns}
+// finish publishes the engine gauges, snapshots the registry, closes the
+// trace, and summarizes goodputs — the tail shared by the single-engine
+// and sharded runners. events and maxPending aggregate over shard engines
+// (sum and max respectively); for one engine they are its exact values.
+func finish(s Spec, net *topo.Net, conns map[string]*transport.Connection,
+	bus *obs.Bus, events uint64, maxPending int, endAt sim.Time) *Result {
+	res := &Result{Flows: make(map[string]*FlowResult, len(conns)), Net: net, Conns: conns, Events: events}
 	if bus != nil {
 		if reg := bus.Registry(); reg != nil {
-			reg.Gauge("sim.events_processed").Set(float64(eng.Processed))
-			reg.Gauge("sim.max_pending_timers").Set(float64(eng.MaxPending()))
+			reg.Gauge("sim.events_processed").Set(float64(events))
+			reg.Gauge("sim.max_pending_timers").Set(float64(maxPending))
 			res.Obs = reg.Snapshot()
 			if snapshotSink != nil {
 				snapshotSink(s.Seed, res.Obs)
 			}
 		}
-		bus.RunEnd(eng.Now())
+		bus.RunEnd(endAt)
 	}
 	var goodputs []float64
 	total := 0.0
@@ -267,6 +297,7 @@ func RunAveraged(s Spec, reps int) *Result {
 func mergeInto(agg, res *Result) {
 	agg.Utilization += res.Utilization
 	agg.Jain += res.Jain
+	agg.Events += res.Events
 	if agg.Obs != nil && res.Obs != nil {
 		agg.Obs.Merge(res.Obs)
 	}

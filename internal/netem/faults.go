@@ -19,9 +19,20 @@ func NewFaultInjector(eng *sim.Engine) *FaultInjector {
 	return &FaultInjector{eng: eng}
 }
 
+// checkEngine rejects links living on a different engine than the
+// injector's clock: under sharded execution (exp.Spec.Shards) that would
+// mutate link state from another shard's event stream. Build one injector
+// per shard (l.Engine()) instead.
+func (fi *FaultInjector) checkEngine(l *Link) {
+	if fi.eng != l.eng {
+		panic("netem: fault injector engine differs from link " + l.Name + "'s engine")
+	}
+}
+
 // Outage takes l down at absolute virtual time at and restores it at
 // at+dur. A non-positive dur schedules a permanent outage.
 func (fi *FaultInjector) Outage(l *Link, at, dur sim.Time) (stop func()) {
+	fi.checkEngine(l)
 	stopped := false
 	fi.eng.At(at, func() {
 		if !stopped {
@@ -42,6 +53,7 @@ func (fi *FaultInjector) Outage(l *Link, at, dur sim.Time) (stop func()) {
 // then up for upFor, repeated. The link is guaranteed up after the last
 // cycle completes.
 func (fi *FaultInjector) Flaps(l *Link, start sim.Time, n int, downFor, upFor sim.Time) (stop func()) {
+	fi.checkEngine(l)
 	stopped := false
 	at := start
 	for i := 0; i < n; i++ {
@@ -64,6 +76,7 @@ func (fi *FaultInjector) Flaps(l *Link, start sim.Time, n int, downFor, upFor si
 // BurstLoss enables Gilbert–Elliott burst loss on l at absolute time at and
 // disables it again at at+dur. A non-positive dur leaves it enabled.
 func (fi *FaultInjector) BurstLoss(l *Link, at, dur sim.Time, ge GilbertElliott) (stop func()) {
+	fi.checkEngine(l)
 	stopped := false
 	fi.eng.At(at, func() {
 		if !stopped {

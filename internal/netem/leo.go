@@ -39,6 +39,9 @@ func ScheduleHandovers(eng *sim.Engine, l *Link, steps []HandoverStep, start, pe
 	if period <= 0 {
 		panic("netem: handover period must be positive")
 	}
+	if eng != l.eng {
+		panic("netem: ScheduleHandovers engine differs from link " + l.Name + "'s engine")
+	}
 	if count <= 0 {
 		count = len(steps)
 	}

@@ -69,10 +69,21 @@ func (p *Path) release(pkt *Packet) {
 	p.free = append(p.free, pkt)
 }
 
-// NewPath builds a path over links on engine eng.
+// NewPath builds a path over links on engine eng. Every link must live on
+// that same engine: a path is a strictly local object (its packets and
+// feedback events all schedule on eng), so a link from another shard would
+// silently corrupt event ordering — it panics instead.
 func NewPath(eng *sim.Engine, name string, links ...*Link) *Path {
+	for _, l := range links {
+		if l.eng != eng {
+			panic("netem: link " + l.Name + " lives on a different engine than path " + name)
+		}
+	}
 	return &Path{Name: name, eng: eng, links: links}
 }
+
+// Engine returns the engine the path schedules on.
+func (p *Path) Engine() *sim.Engine { return p.eng }
 
 // SetExtraDelay adds a fixed path-private one-way delay.
 func (p *Path) SetExtraDelay(d sim.Time) { p.extraDelay = d }
@@ -231,6 +242,9 @@ type RatePoint struct {
 // takes effect at its time offset. If loop > 0 the trace repeats with that
 // period indefinitely. The returned stop function cancels future changes.
 func ScheduleRates(eng *sim.Engine, l *Link, points []RatePoint, loop sim.Time) (stop func()) {
+	if eng != l.eng {
+		panic("netem: ScheduleRates engine differs from link " + l.Name + "'s engine")
+	}
 	stopped := false
 	var apply func(base sim.Time)
 	apply = func(base sim.Time) {

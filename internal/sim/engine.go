@@ -574,6 +574,33 @@ func (e *Engine) Step() bool {
 // from the queue eagerly, so they are never counted.
 func (e *Engine) Pending() int { return len(e.heap) + e.wheelCount }
 
+// NextAt returns the virtual time of the earliest pending timer without
+// executing or dequeueing anything, and ok=false when the queue is empty.
+// The conservative shard scheduler (Group) polls this between synchronization
+// windows to size the next window.
+//
+// The earliest wheel timer always lives in the first occupied slot after the
+// frontier: slots are indexed by at>>wheelShift, so every timer in a later
+// slot is strictly later than every timer in an earlier one. Within a slot
+// the list is unordered, so the slot is scanned; slots hold one ~65 µs batch
+// of timers, which keeps the scan short.
+func (e *Engine) NextAt() (Time, bool) {
+	var best Time
+	ok := false
+	if len(e.heap) > 0 {
+		best, ok = e.heap[0].at, true
+	}
+	if e.wheelCount > 0 {
+		idx := e.nextOccupied() & wheelMask
+		for t := e.wheel[idx]; t != nil; t = t.next {
+			if !ok || t.at < best {
+				best, ok = t.at, true
+			}
+		}
+	}
+	return best, ok
+}
+
 // MaxPending returns the high-water mark of queued timers over the engine's
 // lifetime — a proxy for how much simultaneous in-flight state a scenario
 // builds up, surfaced as a gauge by the experiment harness.

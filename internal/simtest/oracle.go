@@ -32,6 +32,7 @@ const (
 	InvTraceDetermin  = "trace-determinism" // same scenario ⇒ same trace hash
 	InvParallelIdent  = "parallel-identity" // sequential and parallel execution agree
 	InvSnapshotReplay = "snapshot-replay"   // replaying the trace rebuilds the live registry snapshot
+	InvShardIdentity  = "shard-identity"    // every shard count yields the same trace and snapshot
 )
 
 // progressStallBound is the default forward-progress ceiling for lossless

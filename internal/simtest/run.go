@@ -183,6 +183,76 @@ func SnapshotReplayIdentity(sc Scenario) []Violation {
 	return out
 }
 
+// ShardIdentity is the space-parallel determinism oracle: it audits the
+// scenario at every given shard count (each a full Check under the
+// complete invariant oracle) and requires identical probe traces, event
+// counts, and obs snapshots — counters, sketch-backed histogram stats, and
+// the serialized windowed series — across all of them. Counts of 0 (legacy
+// single engine) may only be compared when the scenario's partition is a
+// single interaction component; counts >= 1 are comparable on any
+// scenario, since the component layout and per-shard seeds depend only on
+// the topology, never on the worker count. The first count's report is
+// returned with any identity violations appended.
+func ShardIdentity(sc Scenario, counts ...int) *Report {
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4}
+	}
+	base := sc
+	base.Shards = counts[0]
+	r := Check(base)
+	for _, n := range counts[1:] {
+		alt := sc
+		alt.Shards = n
+		r2 := Check(alt)
+		if r2.TraceHash != r.TraceHash || r2.Events != r.Events {
+			r.Violations = append(r.Violations, Violation{
+				Invariant: InvShardIdentity,
+				Detail: fmt.Sprintf("shards=%d trace %s (%d events) ≠ shards=%d trace %s (%d events)",
+					counts[0], r.TraceHash[:12], r.Events, n, r2.TraceHash[:12], r2.Events),
+			})
+			continue
+		}
+		r.Violations = append(r.Violations, diffSnapshots(r.Result.Obs, r2.Result.Obs,
+			fmt.Sprintf("shards=%d vs shards=%d", counts[0], n))...)
+	}
+	return r
+}
+
+// diffSnapshots compares two obs snapshots metric by metric, returning one
+// shard-identity violation per divergence.
+func diffSnapshots(a, b *obs.Snapshot, label string) []Violation {
+	var out []Violation
+	if (a == nil) != (b == nil) {
+		return append(out, Violation{Invariant: InvShardIdentity,
+			Detail: fmt.Sprintf("%s: one run has no snapshot", label)})
+	}
+	if a == nil {
+		return nil
+	}
+	names := a.SortedCounterNames()
+	if len(names) != len(b.SortedCounterNames()) {
+		out = append(out, Violation{Invariant: InvShardIdentity,
+			Detail: fmt.Sprintf("%s: counter sets differ", label)})
+	}
+	for _, name := range names {
+		if a.Counters[name] != b.Counters[name] {
+			out = append(out, Violation{Invariant: InvShardIdentity,
+				Detail: fmt.Sprintf("%s: counter %s: %v vs %v", label, name, a.Counters[name], b.Counters[name])})
+		}
+	}
+	for _, name := range a.SortedHistogramNames() {
+		if a.Histograms[name] != b.Histograms[name] {
+			out = append(out, Violation{Invariant: InvShardIdentity,
+				Detail: fmt.Sprintf("%s: histogram %s: %+v vs %+v", label, name, a.Histograms[name], b.Histograms[name])})
+		}
+	}
+	if x, y := obs.AppendTimeline(nil, 0, a.Series), obs.AppendTimeline(nil, 0, b.Series); !bytes.Equal(x, y) {
+		out = append(out, Violation{Invariant: InvShardIdentity,
+			Detail: fmt.Sprintf("%s: windowed series diverge", label)})
+	}
+	return out
+}
+
 // ParallelIdentity checks the other half of replay determinism: auditing the
 // scenarios one at a time must be indistinguishable from auditing them under
 // exp.RunParallel with the given worker count. Returns one violation per

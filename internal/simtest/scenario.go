@@ -142,6 +142,14 @@ type Scenario struct {
 	Links      []LinkSpec  `json:"links"`
 	Flows      []FlowSpec  `json:"flows"`
 	Faults     []FaultSpec `json:"faults,omitempty"`
+	// Shards selects space-parallel execution (exp.Spec.Shards): 0 runs
+	// the legacy single engine, n >= 1 runs the component-sharded engine
+	// with n workers. Any n >= 1 must be output-identical (ShardIdentity),
+	// so the generator draws from {1, 2, 4} to exercise sequential,
+	// partial, and saturated worker pools. The field rides along in the
+	// SIMTEST_SCENARIO repro JSON, and the shrinker only reduces it to 0
+	// (failures that need sharding stay sharded in the repro).
+	Shards int `json:"shards,omitempty"`
 }
 
 // Duration returns the run horizon in virtual time.
@@ -212,6 +220,9 @@ func ParseScenario(data string) (Scenario, error) {
 func (s Scenario) Validate() error {
 	if s.DurationMs <= 0 {
 		return fmt.Errorf("simtest: non-positive duration %v", s.DurationMs)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("simtest: negative shard count %d", s.Shards)
 	}
 	if len(s.Links) == 0 {
 		return fmt.Errorf("simtest: no links")
@@ -498,6 +509,13 @@ func FromSeed(seed int64) Scenario {
 	}
 
 	s.markExpectations()
+
+	// Drawn last, so the shard dimension never perturbs the draws above:
+	// every seed still generates the exact scenario it did before sharding
+	// existed, now sometimes executed by the sharded engine.
+	if rng.Float64() < 0.25 {
+		s.Shards = []int{1, 2, 4}[rng.Intn(3)]
+	}
 	return s
 }
 
@@ -652,9 +670,12 @@ func (s Scenario) buildSpec(bus *obs.Bus, o *Oracle) exp.Spec {
 				l.SetShaper(ls.ShaperMbps*1e6, ls.ShaperBurst)
 			}
 		}
-		fi := netem.NewFaultInjector(net.Eng)
 		for fidx, f := range s.Faults {
 			l := net.Link(linkNames[f.Link])
+			// Faults schedule on the faulted link's own engine: under
+			// sharded execution (Shards >= 1) links live on per-component
+			// engines and net.Eng is only shard 0.
+			fi := netem.NewFaultInjector(l.Engine())
 			at := sim.FromSeconds(f.AtMs / 1000)
 			dur := sim.FromSeconds(f.DurMs / 1000)
 			switch f.Kind {
@@ -667,8 +688,8 @@ func (s Scenario) buildSpec(bus *obs.Bus, o *Oracle) exp.Spec {
 			case FaultRate:
 				orig := l.Rate()
 				cut := f.RateMbps * 1e6
-				net.Eng.At(at, func() { l.SetRate(cut) })
-				net.Eng.At(at+dur, func() { l.SetRate(orig) })
+				l.Engine().At(at, func() { l.SetRate(cut) })
+				l.Engine().At(at+dur, func() { l.SetRate(orig) })
 			case FaultHandover:
 				// Steps alternate alternate-state ↔ base-state, so an even
 				// cycle count leaves the link where it started.
@@ -677,7 +698,7 @@ func (s Scenario) buildSpec(bus *obs.Bus, o *Oracle) exp.Spec {
 					{RateBps: f.RateMbps * 1e6, Delay: sim.FromSeconds(f.DelayMs / 1000)},
 					{RateBps: base.RateMbps * 1e6, Delay: sim.FromSeconds(base.DelayMs / 1000)},
 				}
-				netem.ScheduleHandovers(net.Eng, l, steps, at, dur, f.Cycles)
+				netem.ScheduleHandovers(l.Engine(), l, steps, at, dur, f.Cycles)
 				if o != nil {
 					// The oracle holds the exact fire times; every handover
 					// event must land on one, and all must fire by the horizon.
@@ -697,9 +718,9 @@ func (s Scenario) buildSpec(bus *obs.Bus, o *Oracle) exp.Spec {
 				// The trace plays once; its end restores the base rate.
 				end := at + sim.Time(len(f.Trace))*dur
 				pts = append(pts, netem.RatePoint{At: end, RateBps: s.Links[f.Link].RateMbps * 1e6})
-				netem.ScheduleRates(net.Eng, l, pts, 0)
+				netem.ScheduleRates(l.Engine(), l, pts, 0)
 				if o != nil && s.soleRateFault(fidx) {
-					armTraceEnvelope(net.Eng, o, l, linkNames[f.Link],
+					armTraceEnvelope(l.Engine(), o, l, linkNames[f.Link],
 						at, dur, f.Trace, s.Links[f.Link].BufBytes)
 				}
 			}
@@ -715,5 +736,6 @@ func (s Scenario) buildSpec(bus *obs.Bus, o *Oracle) exp.Spec {
 		Probes:   bus,
 		Tweak:    tweak,
 		Flows:    flows,
+		Shards:   s.Shards,
 	}
 }

@@ -36,12 +36,19 @@ func NewNet(eng *sim.Engine) *Net {
 	return &Net{Eng: eng, links: make(map[string]*netem.Link)}
 }
 
-// AddLink creates a named link.
+// AddLink creates a named link on the net's default engine.
 func (n *Net) AddLink(name string, rateBps float64, delay sim.Time, bufBytes int) *netem.Link {
+	return n.AddLinkOn(n.Eng, name, rateBps, delay, bufBytes)
+}
+
+// AddLinkOn creates a named link on an explicit engine, for sharded builds
+// where different link clusters live on different shard engines (see
+// Partition.Build). The net's own Eng is then just the first shard.
+func (n *Net) AddLinkOn(eng *sim.Engine, name string, rateBps float64, delay sim.Time, bufBytes int) *netem.Link {
 	if _, dup := n.links[name]; dup {
 		panic("topo: duplicate link " + name)
 	}
-	l := netem.NewLink(n.Eng, name, rateBps, delay, bufBytes)
+	l := netem.NewLink(eng, name, rateBps, delay, bufBytes)
 	n.links[name] = l
 	n.order = append(n.order, name)
 	return l
@@ -73,13 +80,20 @@ func (n *Net) TotalCapacity() float64 {
 	return t
 }
 
-// Path builds a path traversing the named links in order.
+// Path builds a path traversing the named links in order. The path lives
+// on its first link's engine (identical to n.Eng on unsharded nets);
+// NewPath rejects link sets that span engines, which would indicate a bad
+// partition.
 func (n *Net) Path(names ...string) *netem.Path {
 	ls := make([]*netem.Link, len(names))
 	for i, name := range names {
 		ls[i] = n.Link(name)
 	}
-	return netem.NewPath(n.Eng, fmt.Sprint(names), ls...)
+	eng := n.Eng
+	if len(ls) > 0 {
+		eng = ls[0].Engine()
+	}
+	return netem.NewPath(eng, fmt.Sprint(names), ls...)
 }
 
 // FlowDef declares one connection of a canonical topology: its name, its
