@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-gate examples fuzz simtest fmt
+.PHONY: build test check bench bench-gate examples fuzz simtest soak fmt
 
 build:
 	$(GO) build ./...
@@ -21,11 +21,13 @@ check:
 	$(GO) test -run '^$$' -bench 'BenchmarkEmulatorThroughput(Probed)?$$' -benchtime 1x -benchmem .
 	$(MAKE) examples
 
-# Build every example and smoke-run the trace-replay demo (short horizon via
-# its -dur flag), so the examples stay compilable and runnable under tier-1.
+# Build every example and smoke-run the trace-replay and churn demos (short
+# horizons via their -dur flags), so the examples stay compilable and
+# runnable under tier-1.
 examples:
 	$(GO) build ./examples/...
 	$(GO) run ./examples/cellular_trace -dur 12s
+	$(GO) run ./examples/churn -dur 4s
 
 # Full benchmark pass; the output is echoed and also summarized into
 # BENCH_results.json (benchmark name → ns/op, events/op, allocs/op, …).
@@ -51,6 +53,16 @@ SIMTEST_N ?= 2000
 simtest:
 	SIMTEST_N=$(SIMTEST_N) $(GO) test ./internal/simtest -count=1 -v -run TestRandomScenarios
 	$(GO) test -race ./internal/simtest -count=1
+
+# Overload-survival soak: SIMTEST_N generated churn scenarios — open-loop
+# arrivals, admission shedding, retry backoff, session teardown — audited
+# under the full invariant oracle (session ledger, server budgets, pool-leak
+# drain checks) with the race detector on, plus the graceful-degradation
+# knee oracle. Failing scenarios shrink themselves and print a one-line
+# SIMTEST_SCENARIO repro command.
+soak:
+	SIMTEST_N=$(SIMTEST_N) $(GO) test -race ./internal/simtest -count=1 -v -run 'TestChurnSoak'
+	$(GO) test -race ./internal/simtest -count=1 -v -run 'TestChurnGracefulDegradation'
 
 # Short fuzz pass over every native fuzz target.
 fuzz:

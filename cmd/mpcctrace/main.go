@@ -186,6 +186,7 @@ func cmdSummary(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintf(stdout, " events=%d\n", a.events)
 		snap := a.reg.Snapshot()
 		printHostile(stdout, snap)
+		printSessions(stdout, snap)
 		printSnapshot(stdout, snap)
 	}
 	return nil
@@ -219,6 +220,31 @@ func printHostile(w io.Writer, s *obs.Snapshot) {
 		line += fmt.Sprintf(" (%.1f%% of %g retransmits wasted)", 100*spur/retx, retx)
 	}
 	fmt.Fprintln(w, line)
+}
+
+// printSessions renders the churn-workload breakdown: the session ledger
+// (accepted vs shed vs retried and how accepted sessions resolved), the
+// connection high-water mark, and session flow-completion-time percentiles.
+// Omitted entirely when the run carried no session workload.
+func printSessions(w io.Writer, s *obs.Snapshot) {
+	acc := s.Counters["sessions.accepted"]
+	rej := s.Counters["sessions.rejected"]
+	ret := s.Counters["sessions.retried"]
+	done := s.Counters["sessions.completed"]
+	abrt := s.Counters["sessions.aborted"]
+	if acc+rej+ret+done+abrt == 0 {
+		return
+	}
+	fmt.Fprintln(w, "sessions:")
+	fmt.Fprintf(w, "  ledger: accepted=%g rejected=%g retried=%g completed=%g aborted=%g active-end=%g\n",
+		acc, rej, ret, done, abrt, acc-done-abrt)
+	if peak := s.Gauges["conns.active_peak"]; peak > 0 {
+		fmt.Fprintf(w, "  conns: active=%g peak=%g\n", s.Gauges["conns.active"], peak)
+	}
+	if h, ok := s.Histograms["session_fct_seconds"]; ok && h.Count > 0 {
+		fmt.Fprintf(w, "  fct: count=%d p50=%.4gs p99=%.4gs p999=%.4gs\n",
+			h.Count, h.P50, h.P99, h.P999)
+	}
 }
 
 func printSnapshot(w io.Writer, s *obs.Snapshot) {

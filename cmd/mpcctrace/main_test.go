@@ -160,6 +160,54 @@ func TestSummaryContractsBreakdown(t *testing.T) {
 	}
 }
 
+// TestSummarySessionsBreakdown traces an overloaded churn run and checks
+// summary surfaces the session ledger and FCT percentiles, and that a run
+// with no session workload omits the section entirely.
+func TestSummarySessionsBreakdown(t *testing.T) {
+	var buf bytes.Buffer
+	jw := obs.NewJSONLWriter(&buf)
+	spec := exp.ChurnSpecAt(exp.Config{Duration: 3 * sim.Second, Reps: 1, Seed: 42}, 2.0)
+	spec.Probes = obs.NewBus(jw)
+	res := exp.Run(spec)
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runTool(t, []string{"summary"}, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Churn
+	for _, frag := range []string{
+		"sessions:",
+		fmt.Sprintf("accepted=%d", st.Accepted),
+		fmt.Sprintf("rejected=%d", st.Rejected),
+		fmt.Sprintf("retried=%d", st.Retried),
+		fmt.Sprintf("completed=%d", st.Completed),
+		fmt.Sprintf("aborted=%d", st.Aborted),
+		fmt.Sprintf("active-end=%d", st.Active),
+		fmt.Sprintf("peak=%d", st.PeakActive),
+		fmt.Sprintf("fct: count=%d", st.Completed),
+		"p50=", "p99=", "p999=",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("churn summary missing %q:\n%s", frag, out)
+		}
+	}
+	if st.Rejected == 0 {
+		t.Error("overloaded trace run shed nothing; breakdown untested")
+	}
+
+	// A session-free trace must not grow a sessions section.
+	plain, _ := liveTrace(t)
+	out, err = runTool(t, []string{"summary"}, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "sessions:") {
+		t.Errorf("session-free summary grew a sessions section:\n%s", out)
+	}
+}
+
 func TestFilterRoundTripsBytes(t *testing.T) {
 	trace, _ := liveTrace(t)
 	// A no-op filter must re-emit the trace byte-identically.

@@ -99,6 +99,9 @@ func Registry() []Experiment {
 		{"ablation-threshold", "scheduler availability threshold sweep (§6)", func(cfg Config) []*Table {
 			return []*Table{AblationSchedulerThreshold(cfg)}
 		}},
+		{"churn", "robustness: open-loop session churn swept past saturation — admission control, retry backoff, graceful degradation", func(cfg Config) []*Table {
+			return Churn(cfg)
+		}},
 		{"faults", "robustness: mid-run link outage on topology 3c — failure detection, migration, probing revival", func(cfg Config) []*Table {
 			return []*Table{FaultRecovery(cfg)}
 		}},

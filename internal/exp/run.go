@@ -63,6 +63,12 @@ type Spec struct {
 	// legacy single-engine path regardless of the default. Sharded
 	// execution requires Duration > 0.
 	Shards int
+	// Churn, if set, overlays an open-loop session workload on the run:
+	// connections arrive, transfer, and close under admission control (see
+	// ChurnSpec). Churn forces the legacy single-engine path — its sessions
+	// are created mid-run, invisible to the static flow partition sharding
+	// is built on — so any Shards value still yields identical output.
+	Churn *ChurnSpec
 }
 
 // FlowResult summarizes one connection after a run.
@@ -112,6 +118,10 @@ type Result struct {
 	// over shard engines; RunAveraged sums it over replicates. Throughput
 	// benchmarks report it as events/op.
 	Events uint64
+	// Churn holds the session ledger and FCT distribution of the run's
+	// churn workload; nil when Spec.Churn was nil. RunAveraged keeps the
+	// first replicate's.
+	Churn *ChurnStats
 }
 
 // flowsFor derives the flow specs from a topology and the spec's protocols.
@@ -193,8 +203,16 @@ func Run(s Spec) *Result {
 		conn.Start(f.StartAt)
 		conns[f.Name] = conn
 	}
+	var churn *churnDriver
+	if s.Churn != nil {
+		churn = startChurn(eng, &s, net, bus)
+	}
 	eng.Run(s.Duration)
-	return finish(s, net, conns, bus, eng.Processed, eng.MaxPending(), eng.Now())
+	res := finish(s, net, conns, bus, eng.Processed, eng.MaxPending(), eng.Now())
+	if churn != nil {
+		res.Churn = churn.snapshot()
+	}
+	return res
 }
 
 // finish publishes the engine gauges, snapshots the registry, closes the

@@ -58,6 +58,12 @@ func Shards() int { return defaultShards }
 // the legacy single-engine path. Sharded execution needs a positive
 // horizon, and a negative Spec.Shards forces legacy over the default.
 func (s *Spec) shardWorkers() int {
+	if s.Churn != nil {
+		// Churn sessions attach mid-run; the static partition sharding is
+		// built on cannot see them, so the run always takes the legacy path
+		// (and is thereby trivially identical for any shard count).
+		return 0
+	}
 	n := s.Shards
 	if n == 0 {
 		n = defaultShards

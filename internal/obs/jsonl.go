@@ -91,6 +91,10 @@ func (jw *JSONLWriter) Close() error {
 //	shaper-delay: t, kind, link, bytes, delay_s
 //	handover:     t, kind, link, rate_bps, delay_s
 //	rtt-sample:   t, kind, flow, sf, rtt_s
+//	session-open:   t, kind, flow, link, bytes, active
+//	session-close:  t, kind, flow, link, state, fct_s, bytes, active
+//	session-reject: t, kind, flow, link, state, attempt
+//	session-retry:  t, kind, flow, delay_s, attempt
 func AppendEvent(b []byte, e Event) []byte {
 	b = append(b, `{"t":`...)
 	b = strconv.AppendInt(b, int64(e.At), 10)
@@ -160,6 +164,27 @@ func AppendEvent(b []byte, e Event) []byte {
 	case KindRTTSample:
 		b = appendFlowSF(b, e)
 		b = appendFloat(b, "rtt_s", e.Value)
+	case KindSessionOpen:
+		b = appendStr(b, "flow", e.Flow)
+		b = appendStr(b, "link", e.Link)
+		b = appendInt(b, "bytes", e.Bytes)
+		b = appendInt(b, "active", int64(e.Aux))
+	case KindSessionClose:
+		b = appendStr(b, "flow", e.Flow)
+		b = appendStr(b, "link", e.Link)
+		b = appendStr(b, "state", e.State)
+		b = appendFloat(b, "fct_s", e.Value)
+		b = appendInt(b, "bytes", e.Bytes)
+		b = appendInt(b, "active", int64(e.Aux))
+	case KindSessionReject:
+		b = appendStr(b, "flow", e.Flow)
+		b = appendStr(b, "link", e.Link)
+		b = appendStr(b, "state", e.State)
+		b = appendInt(b, "attempt", int64(e.Aux))
+	case KindSessionRetry:
+		b = appendStr(b, "flow", e.Flow)
+		b = appendFloat(b, "delay_s", e.Value)
+		b = appendInt(b, "attempt", int64(e.Aux))
 	}
 	return append(b, '}', '\n')
 }
@@ -229,6 +254,9 @@ type jsonEvent struct {
 	RTOFlag  float64  `json:"rto"`
 	DelayS   float64  `json:"delay_s"`
 	RTTs     float64  `json:"rtt_s"`
+	FctS     float64  `json:"fct_s"`
+	Active   float64  `json:"active"`
+	Attempt  float64  `json:"attempt"`
 }
 
 // ParseEvent decodes one JSONL trace line back into an Event.
@@ -289,6 +317,18 @@ func ParseEvent(line []byte) (Event, error) {
 		e.Aux = je.DelayS
 	case KindRTTSample:
 		e.Value = je.RTTs
+	case KindSessionOpen:
+		e.Bytes = je.Bytes
+		e.Aux = je.Active
+	case KindSessionClose:
+		e.Value = je.FctS
+		e.Bytes = je.Bytes
+		e.Aux = je.Active
+	case KindSessionReject:
+		e.Aux = je.Attempt
+	case KindSessionRetry:
+		e.Value = je.DelayS
+		e.Aux = je.Attempt
 	}
 	return e, nil
 }

@@ -41,6 +41,19 @@ type Registry struct {
 	utility      *Histogram
 	rtt          *Histogram
 	series       *seriesStore
+
+	// Session-churn handles, resolved lazily on the first session event so
+	// runs without a churn workload snapshot exactly the metric set they
+	// always did (session events are per-session, not per-packet, so the
+	// one-time lookup is off the hot path).
+	sessAccepted   *Counter
+	sessRejected   *Counter
+	sessRetried    *Counter
+	sessCompleted  *Counter
+	sessAborted    *Counter
+	sessActive     *Gauge
+	sessActivePeak *Gauge
+	sessFCT        *Histogram
 }
 
 // NewRegistry returns an empty registry with the builtin metrics
@@ -171,6 +184,49 @@ func (r *Registry) Record(e Event) {
 	case KindRTTSample:
 		r.rtt.Observe(e.Value)
 		r.series.observe(seriesID{seriesRTT, e.Flow, e.Subflow}, e.At, e.Value)
+	case KindSessionOpen:
+		r.ensureSessionMetrics()
+		r.sessAccepted.Inc()
+		r.setActiveConns(e.Aux)
+	case KindSessionClose:
+		r.ensureSessionMetrics()
+		if e.State == "done" {
+			r.sessCompleted.Inc()
+			r.sessFCT.Observe(e.Value)
+		} else {
+			r.sessAborted.Inc()
+		}
+		r.setActiveConns(e.Aux)
+	case KindSessionReject:
+		r.ensureSessionMetrics()
+		r.sessRejected.Inc()
+	case KindSessionRetry:
+		r.ensureSessionMetrics()
+		r.sessRetried.Inc()
+	}
+}
+
+func (r *Registry) ensureSessionMetrics() {
+	if r.sessAccepted != nil {
+		return
+	}
+	r.sessAccepted = r.Counter("sessions.accepted")
+	r.sessRejected = r.Counter("sessions.rejected")
+	r.sessRetried = r.Counter("sessions.retried")
+	r.sessCompleted = r.Counter("sessions.completed")
+	r.sessAborted = r.Counter("sessions.aborted")
+	r.sessActive = r.Gauge("conns.active")
+	r.sessActivePeak = r.Gauge("conns.active_peak")
+	r.sessFCT = r.Histogram("session_fct_seconds")
+}
+
+// setActiveConns tracks both the live active-connection gauge and its
+// high-water mark (snapshot gauges merge by max, so the peak survives
+// parallel folds while the last value reflects end-of-run state).
+func (r *Registry) setActiveConns(active float64) {
+	r.sessActive.Set(active)
+	if active > r.sessActivePeak.Value() {
+		r.sessActivePeak.Set(active)
 	}
 }
 

@@ -98,6 +98,23 @@ const (
 	// RTT-input sample, emitted at ACK-processing time. Value is the
 	// measured RTT in seconds.
 	KindRTTSample
+	// KindSessionOpen is a churn-workload session admitted by a server
+	// (workload layer). Flow is the session, Link the server, Bytes the
+	// object size, Aux the server's active-connection count after the open.
+	KindSessionOpen
+	// KindSessionClose is a session ending. State is the close reason
+	// ("done", "abort", "idle", "handshake"), Value the session completion
+	// time in seconds for "done" closes (-1 otherwise), Bytes the
+	// acknowledged bytes, Aux the active count after the close.
+	KindSessionClose
+	// KindSessionReject is admission control shedding a session at the
+	// accept point. Link is the server, State the exhausted resource
+	// ("conns" or "budget"), Aux the retry attempt the rejection answered.
+	KindSessionReject
+	// KindSessionRetry is a rejected session scheduling a retry with
+	// backoff. Value is the backoff delay in seconds, Aux the upcoming
+	// attempt number (1-based).
+	KindSessionRetry
 
 	numKinds
 )
@@ -107,6 +124,7 @@ var kindNames = [numKinds]string{
 	"retransmit", "rto-backoff", "subflow-down", "subflow-up", "sched-pick",
 	"run-start", "run-end", "reorder", "duplicate", "ack-compress",
 	"rack-mark", "spurious-retx", "shaper-delay", "handover", "rtt-sample",
+	"session-open", "session-close", "session-reject", "session-retry",
 }
 
 func (k Kind) String() string {
@@ -411,4 +429,46 @@ func (b *Bus) RTTSample(at sim.Time, flow string, sf int, rtt sim.Time) {
 		return
 	}
 	b.Emit(Event{At: at, Kind: KindRTTSample, Flow: flow, Subflow: int32(sf), Value: rtt.Seconds()})
+}
+
+// SessionOpen records admission control accepting a churn session: server,
+// requested object size, and the active-connection count after the open.
+func (b *Bus) SessionOpen(at sim.Time, session, server string, bytes int64, active int) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindSessionOpen, Flow: session, Link: server, Subflow: -1, Bytes: bytes, Aux: float64(active)})
+}
+
+// SessionClose records a session ending. reason is the close reason's
+// string form; fct is the session completion time for "done" closes
+// (negative otherwise); ackedBytes what the session delivered.
+func (b *Bus) SessionClose(at sim.Time, session, server, reason string, fct sim.Time, ackedBytes int64, active int) {
+	if b == nil {
+		return
+	}
+	v := -1.0
+	if fct >= 0 {
+		v = fct.Seconds()
+	}
+	b.Emit(Event{At: at, Kind: KindSessionClose, Flow: session, Link: server, State: reason, Subflow: -1, Bytes: ackedBytes, Value: v, Aux: float64(active)})
+}
+
+// SessionReject records admission control shedding a session at the accept
+// point. resource names what ran out ("conns" or "budget"); attempt is
+// which try this rejection answered (0 = the first).
+func (b *Bus) SessionReject(at sim.Time, session, server, resource string, attempt int) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindSessionReject, Flow: session, Link: server, State: resource, Subflow: -1, Aux: float64(attempt)})
+}
+
+// SessionRetry records a rejected session backing off before retry
+// attempt number attempt (1-based).
+func (b *Bus) SessionRetry(at sim.Time, session string, delay sim.Time, attempt int) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: KindSessionRetry, Flow: session, Subflow: -1, Value: delay.Seconds(), Aux: float64(attempt)})
 }

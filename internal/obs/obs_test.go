@@ -33,6 +33,10 @@ func emitAll(b *Bus) {
 	b.ShaperDelay(17e6, "wifi", 1500, sim.Time(4e6))
 	b.Handover(18e6, "leo", 25e6, sim.Time(30e6))
 	b.RTTSample(19e6, "flowA", 0, sim.Time(35e6))
+	b.SessionOpen(20e6, "sess1", "srv0", 120000, 3)
+	b.SessionClose(21e6, "sess1", "srv0", "done", sim.Time(500e6), 120000, 2)
+	b.SessionReject(22e6, "sess2", "srv0", "conns", 1)
+	b.SessionRetry(23e6, "sess2", sim.Time(40e6), 2)
 }
 
 func TestNilBusHelpersAreNoOpsAndAllocationFree(t *testing.T) {

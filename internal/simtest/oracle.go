@@ -33,6 +33,9 @@ const (
 	InvParallelIdent  = "parallel-identity" // sequential and parallel execution agree
 	InvSnapshotReplay = "snapshot-replay"   // replaying the trace rebuilds the live registry snapshot
 	InvShardIdentity  = "shard-identity"    // every shard count yields the same trace and snapshot
+	InvSessionLedger  = "session-ledger"    // accepted = completed + aborted + active; arrivals = accepted + abandoned
+	InvServerBudget   = "server-budget"     // per-server conns ≤ cap and reserved bytes ≤ budget, at all times
+	InvConnLeak       = "conn-leak"         // closed sessions return every pooled buffer after the drain window
 )
 
 // progressStallBound is the default forward-progress ceiling for lossless
@@ -288,6 +291,38 @@ func armTraceEnvelope(eng *sim.Engine, o *Oracle, l *netem.Link, name string,
 	}
 }
 
+// finalizeChurn audits the run's churn workload ledger: every admitted
+// session must be accounted for, every arrival must have resolved by the
+// horizon (retries are never scheduled past it), no server may ever have
+// exceeded its caps, and every drain-window pool audit must have come back
+// clean.
+func (o *Oracle) finalizeChurn(st *exp.ChurnStats) {
+	if st.Accepted != st.Completed+st.Aborted+st.Active {
+		o.report(InvSessionLedger, 0,
+			"accepted %d != completed %d + aborted %d + active %d",
+			st.Accepted, st.Completed, st.Aborted, st.Active)
+	}
+	if st.Arrivals != st.Accepted+st.Abandoned {
+		o.report(InvSessionLedger, 0,
+			"arrivals %d != accepted %d + abandoned %d",
+			st.Arrivals, st.Accepted, st.Abandoned)
+	}
+	for _, sv := range st.Servers {
+		if sv.MaxConns > 0 && sv.PeakActive > sv.MaxConns {
+			o.report(InvServerBudget, 0, "server %s peak conns %d exceeds cap %d",
+				sv.Name, sv.PeakActive, sv.MaxConns)
+		}
+		if sv.BudgetBytes > 0 && sv.PeakBytes > sv.BudgetBytes {
+			o.report(InvServerBudget, 0, "server %s peak reservation %d exceeds budget %d",
+				sv.Name, sv.PeakBytes, sv.BudgetBytes)
+		}
+	}
+	if st.Leaks > 0 {
+		o.report(InvConnLeak, 0, "%d of %d post-close pool audits found live buffers",
+			st.Leaks, st.LeakChecks)
+	}
+}
+
 // Finalize runs the end-of-run conservation checks against the finished
 // simulation and returns the full violation list (live + final).
 func (o *Oracle) Finalize(res *exp.Result) []Violation {
@@ -396,6 +431,9 @@ func (o *Oracle) Finalize(res *exp.Result) []Violation {
 				}
 			}
 		}
+	}
+	if res.Churn != nil {
+		o.finalizeChurn(res.Churn)
 	}
 	if o.dropped > 0 {
 		o.report(o.violations[len(o.violations)-1].Invariant, 0,

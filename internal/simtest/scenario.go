@@ -24,6 +24,7 @@ import (
 	"mpcc/internal/obs"
 	"mpcc/internal/sim"
 	"mpcc/internal/topo"
+	"mpcc/internal/workload"
 )
 
 // LinkSpec declares one emulated link of a scenario.
@@ -133,6 +134,29 @@ func (f FaultSpec) ratesAffecting() bool {
 	return false
 }
 
+// ChurnScenario overlays an open-loop session workload on a scenario: one
+// accept point per link (sessions to "server" k run single-path over link
+// k), Poisson or two-state MMPP arrivals, bounded-Pareto object sizes, and
+// admission limits small enough that overload sheds. The churn dimension
+// rides along in the repro JSON like every other; a scenario with Churn
+// always executes on the legacy single engine (exp.Spec.Churn forces it).
+type ChurnScenario struct {
+	Proto      string  `json:"proto"`
+	RatePerSec float64 `json:"rate"`
+	// HiRatePerSec > 0 selects a two-state MMPP alternating RatePerSec and
+	// HiRatePerSec with DwellMs mean state dwell.
+	HiRatePerSec float64 `json:"hiRate,omitempty"`
+	DwellMs      float64 `json:"dwell,omitempty"`
+	Alpha        float64 `json:"alpha"`
+	SizeMinKB    int     `json:"minKB"`
+	SizeMaxKB    int     `json:"maxKB"`
+	MaxConns     int     `json:"conns"`
+	BudgetKB     int     `json:"budgetKB"`
+	PerConnKB    int     `json:"rcvKB"`
+	MaxRetries   int     `json:"retries"`
+	RetryBaseMs  float64 `json:"retryMs"`
+}
+
 // Scenario is one fully deterministic simulation configuration. It is a
 // plain value: the same Scenario always produces the same run, and the
 // shrinker minimizes failing scenarios by mutating this struct directly.
@@ -142,6 +166,10 @@ type Scenario struct {
 	Links      []LinkSpec  `json:"links"`
 	Flows      []FlowSpec  `json:"flows"`
 	Faults     []FaultSpec `json:"faults,omitempty"`
+	// Churn, if set, adds session arrivals and departures under admission
+	// control on top of the static flows (which may be absent when churn is
+	// present — the workload itself creates connections).
+	Churn *ChurnScenario `json:"churn,omitempty"`
 	// Shards selects space-parallel execution (exp.Spec.Shards): 0 runs
 	// the legacy single engine, n >= 1 runs the component-sharded engine
 	// with n workers. Any n >= 1 must be output-identical (ShardIdentity),
@@ -239,8 +267,20 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("simtest: link %d has invalid token-bucket contract %+v", i, l)
 		}
 	}
-	if len(s.Flows) == 0 {
-		return fmt.Errorf("simtest: no flows")
+	if len(s.Flows) == 0 && s.Churn == nil {
+		return fmt.Errorf("simtest: no flows and no churn workload")
+	}
+	if c := s.Churn; c != nil {
+		if c.RatePerSec <= 0 || c.Alpha <= 0 || c.SizeMinKB <= 0 || c.SizeMaxKB < c.SizeMinKB {
+			return fmt.Errorf("simtest: churn has invalid arrival/size parameters %+v", *c)
+		}
+		if c.HiRatePerSec < 0 || (c.HiRatePerSec > 0 && c.DwellMs <= 0) {
+			return fmt.Errorf("simtest: churn MMPP needs a positive dwell %+v", *c)
+		}
+		if c.MaxConns <= 0 || c.BudgetKB <= 0 || c.PerConnKB <= 0 ||
+			c.MaxRetries < 0 || c.RetryBaseMs < 0 {
+			return fmt.Errorf("simtest: churn has invalid admission parameters %+v", *c)
+		}
 	}
 	for i, f := range s.Flows {
 		if len(f.Paths) == 0 {
@@ -339,6 +379,13 @@ func (s Scenario) String() string {
 			fmt.Fprintf(&b, "%s@l%d+%.0fms", f.Kind, f.Link, f.AtMs)
 		}
 		b.WriteString("]")
+	}
+	if c := s.Churn; c != nil {
+		fmt.Fprintf(&b, " churn=[%s:%.0f/s", c.Proto, c.RatePerSec)
+		if c.HiRatePerSec > 0 {
+			fmt.Fprintf(&b, "~%.0f/s", c.HiRatePerSec)
+		}
+		fmt.Fprintf(&b, ":%d-%dKB:conns%d]", c.SizeMinKB, c.SizeMaxKB, c.MaxConns)
 	}
 	return b.String()
 }
@@ -515,6 +562,33 @@ func FromSeed(seed int64) Scenario {
 	// existed, now sometimes executed by the sharded engine.
 	if rng.Float64() < 0.25 {
 		s.Shards = []int{1, 2, 4}[rng.Intn(3)]
+	}
+
+	// Churn is drawn after Shards for the same reason: pre-churn seeds keep
+	// their exact scenarios. Parameters stay small — tens of sessions per
+	// run, admission caps of a handful of connections — so a scenario still
+	// finishes in tens of milliseconds while exercising accept/reject/retry,
+	// both arrival generators, and the teardown paths of every session.
+	if rng.Float64() < 0.2 {
+		c := &ChurnScenario{
+			Proto:       string(protoPool[rng.Intn(len(protoPool))]),
+			RatePerSec:  10 + rng.Float64()*40,
+			Alpha:       1.1 + rng.Float64()*0.5,
+			SizeMinKB:   8 + rng.Intn(17),
+			MaxConns:    4 + rng.Intn(9),
+			PerConnKB:   32 + rng.Intn(65),
+			MaxRetries:  1 + rng.Intn(4),
+			RetryBaseMs: 20 + rng.Float64()*40,
+		}
+		c.SizeMaxKB = c.SizeMinKB * (10 + rng.Intn(41))
+		// A budget of fewer connection-buffers than the connection cap makes
+		// the byte budget the binding limit on some scenarios.
+		c.BudgetKB = c.PerConnKB * (2 + rng.Intn(c.MaxConns))
+		if rng.Float64() < 0.4 {
+			c.HiRatePerSec = c.RatePerSec * (2 + rng.Float64()*3)
+			c.DwellMs = 100 + rng.Float64()*300
+		}
+		s.Churn = c
 	}
 	return s
 }
@@ -729,7 +803,7 @@ func (s Scenario) buildSpec(bus *obs.Bus, o *Oracle) exp.Spec {
 			o.bindNet(net)
 		}
 	}
-	return exp.Spec{
+	spec := exp.Spec{
 		Seed:     s.Seed,
 		Duration: s.Duration(),
 		Topo:     &topo.Topology{Name: "simtest", Links: linkNames},
@@ -738,4 +812,54 @@ func (s Scenario) buildSpec(bus *obs.Bus, o *Oracle) exp.Spec {
 		Flows:    flows,
 		Shards:   s.Shards,
 	}
+	if c := s.Churn; c != nil {
+		servers := make([]exp.ServerSpec, len(s.Links))
+		for i := range s.Links {
+			servers[i] = exp.ServerSpec{
+				Name:          "srv-" + linkNames[i],
+				Paths:         [][]string{{linkNames[i]}},
+				MaxConns:      c.MaxConns,
+				BudgetBytes:   int64(c.BudgetKB) * 1024,
+				PerConnRcvBuf: int64(c.PerConnKB) * 1024,
+			}
+		}
+		cs := &exp.ChurnSpec{
+			Servers:    servers,
+			RatePerSec: c.RatePerSec,
+			Sizes: workload.BoundedPareto{
+				Alpha: c.Alpha,
+				Min:   float64(c.SizeMinKB) * 1024,
+				Max:   float64(c.SizeMaxKB) * 1024,
+			},
+			Proto:      exp.Protocol(c.Proto),
+			MaxRetries: c.MaxRetries,
+			RetryBase:  sim.FromSeconds(c.RetryBaseMs / 1000),
+			RetryCap:   sim.Second,
+			// Watchdogs bound sessions stranded by faults (an outaged link
+			// would otherwise hold its server slot to the horizon).
+			HandshakeTimeout: 1500 * sim.Millisecond,
+			IdleTimeout:      1200 * sim.Millisecond,
+		}
+		if c.HiRatePerSec > 0 {
+			cs.States = []workload.MMPPState{
+				{RatePerSec: c.RatePerSec, MeanDwell: sim.FromSeconds(c.DwellMs / 1000)},
+				{RatePerSec: c.HiRatePerSec, MeanDwell: sim.FromSeconds(c.DwellMs / 1000)},
+			}
+		}
+		// Arm the post-close pool audits unless a shaper is present: a
+		// shaper in deficit defers delivery arbitrarily long, so a fixed
+		// drain window after close would report still-in-flight packets as
+		// leaks.
+		shaped := false
+		for _, l := range s.Links {
+			if l.shaped() {
+				shaped = true
+			}
+		}
+		if !shaped {
+			cs.DrainCheckAfter = 800 * sim.Millisecond
+		}
+		spec.Churn = cs
+	}
+	return spec
 }

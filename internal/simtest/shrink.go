@@ -59,6 +59,16 @@ func shrinkOnce(sc Scenario, target string, keepLinks bool, fails func(Scenario)
 			return c, true
 		}
 	}
+	// The churn workload is a whole moving subsystem; removing it outright is
+	// the biggest single reduction available. Only legal while static flows
+	// remain (Validate requires at least one of the two).
+	if sc.Churn != nil && len(sc.Flows) > 0 {
+		c := clone(sc)
+		c.Churn = nil
+		if fails(c) {
+			return c, true
+		}
+	}
 	if len(sc.Flows) > 1 {
 		for i := range sc.Flows {
 			if c := dropFlow(sc, i); fails(c) {
@@ -193,6 +203,33 @@ func shrinkOnce(sc Scenario, target string, keepLinks bool, fails func(Scenario)
 			}
 		}
 	}
+	if ch := sc.Churn; ch != nil {
+		if ch.HiRatePerSec > 0 {
+			// Collapse the MMPP back to plain Poisson at the base rate.
+			c := clone(sc)
+			c.Churn.HiRatePerSec, c.Churn.DwellMs = 0, 0
+			if fails(c) {
+				return c, true
+			}
+		}
+		if ch.RatePerSec >= 2 {
+			c := clone(sc)
+			c.Churn.RatePerSec = c.Churn.RatePerSec / 2
+			if c.Churn.HiRatePerSec > 0 {
+				c.Churn.HiRatePerSec = c.Churn.HiRatePerSec / 2
+			}
+			if fails(c) {
+				return c, true
+			}
+		}
+		if ch.MaxRetries > 0 {
+			c := clone(sc)
+			c.Churn.MaxRetries = 0
+			if fails(c) {
+				return c, true
+			}
+		}
+	}
 	return sc, false
 }
 
@@ -212,6 +249,10 @@ func clone(sc Scenario) Scenario {
 	c.Faults = append([]FaultSpec(nil), sc.Faults...)
 	for i := range c.Faults {
 		c.Faults[i].Trace = append([]float64(nil), sc.Faults[i].Trace...)
+	}
+	if sc.Churn != nil {
+		ch := *sc.Churn
+		c.Churn = &ch
 	}
 	return c
 }

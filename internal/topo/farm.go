@@ -1,0 +1,36 @@
+package topo
+
+import "fmt"
+
+// ServerName returns the access-link name for server k in a ServerFarm.
+func ServerName(k int) string { return fmt.Sprintf("srv%d", k) }
+
+// ServerFarmPaths returns the two subflow paths a session to server k uses
+// in a ServerFarm: one through each core link, then the server's access
+// link.
+func ServerFarmPaths(k int) [][]string {
+	return [][]string{{"core1", ServerName(k)}, {"core2", ServerName(k)}}
+}
+
+// ServerFarm is the overload-study topology: two core links fan out to n
+// server access links, and every session to server k runs one subflow per
+// core link, both terminating on srvK. The cores are the contention point —
+// with paper-default rates the farm's ingress capacity is 2×100 Mbps no
+// matter how many servers sit behind it — while the per-server links are
+// where admission control (connection caps, receive-buffer budgets) bites.
+// Flows is empty: sessions arrive and depart under an open-loop workload
+// (exp.ChurnSpec) rather than being declared statically. Not a
+// parallel-link network: the serial core→server hop is the point.
+func ServerFarm(n int) *Topology {
+	if n <= 0 {
+		panic("topo: ServerFarm needs at least one server")
+	}
+	links := []string{"core1", "core2"}
+	for k := 0; k < n; k++ {
+		links = append(links, ServerName(k))
+	}
+	return &Topology{
+		Name:  fmt.Sprintf("server-farm-%d", n),
+		Links: links,
+	}
+}

@@ -17,6 +17,15 @@ const (
 	DefaultSndBufPkts = 4096
 	DefaultMinRTO     = 200 * sim.Millisecond
 	metricBucket      = 100 * sim.Millisecond
+
+	// DefaultRcvBufBytes is the default receive (reassembly) buffer: the
+	// 300 MB the paper's experiments configure to take flow control out of
+	// the picture (§7.1). It is deliberately far above any send buffer the
+	// repo configures, so the receive-window gate never binds unless a
+	// caller opts into a smaller buffer via WithRcvBuf — servers admitting
+	// many churning connections must, and charge it against their shared
+	// byte budget (see Server).
+	DefaultRcvBufBytes = 300 << 20
 )
 
 // Connection is a multipath transport connection: a set of subflows, a
@@ -34,7 +43,7 @@ type Connection struct {
 
 	ackEvery   int      // delayed ACKs: packets per ACK (default 1 = immediate)
 	ackTimeout sim.Time // delayed-ACK timer
-	rcvBuf     int64    // receive-buffer bytes (0 = unlimited, the paper's setup)
+	rcvBuf     int64    // receive-buffer bytes (default DefaultRcvBufBytes; 0 = unlimited)
 	rcv        rangeSet // receiver-side reassembly state
 
 	failThreshold int      // consecutive RTO episodes before a subflow fails (≤0 disables)
@@ -51,6 +60,20 @@ type Connection struct {
 	pumping bool
 	startAt sim.Time
 	nextOff int64
+
+	// lifecycle (see lifecycle.go)
+	closed           bool
+	closeReason      CloseReason
+	closedAt         sim.Time
+	onClose          func(reason CloseReason, at sim.Time)
+	idleTimeout      sim.Time
+	handshakeTimeout sim.Time
+	watchdog         sim.TimerRef
+
+	// pool gauges: pooled objects currently outside the free lists (the
+	// churn leak check asserts these return to zero after teardown drains)
+	recLive int
+	segLive int
 
 	// forward-progress tracking: the longest observed interval between
 	// consecutive first-delivery events (hostile-path stall oracle).
@@ -91,10 +114,12 @@ func WithDelayedAcks(n int, timeout sim.Time) ConnOption {
 }
 
 // WithRcvBuf bounds the receiver's reassembly buffer: a sender may not have
-// stream data beyond (in-order delivered + bytes) outstanding. The paper's
-// experiments disable flow control with 300 MB buffers (the default here is
-// unlimited); a finite buffer reproduces the §7.2.7 head-of-line effect
-// where losses on one subflow stall the whole connection.
+// stream data beyond (in-order delivered + bytes) outstanding. The default
+// is DefaultRcvBufBytes — the paper's 300 MB flow-control-disabling setup —
+// and 0 means unlimited; a realistically small buffer reproduces the §7.2.7
+// head-of-line effect where losses on one subflow stall the whole
+// connection, and is mandatory on server accept paths where the aggregate
+// is charged against a shared byte budget.
 func WithRcvBuf(bytes int64) ConnOption {
 	return func(c *Connection) { c.rcvBuf = bytes }
 }
@@ -135,6 +160,7 @@ func NewConnection(eng *sim.Engine, name string, opts ...ConnOption) *Connection
 		mss:           DefaultMSS,
 		sndBufPkts:    DefaultSndBufPkts,
 		minRTO:        DefaultMinRTO,
+		rcvBuf:        DefaultRcvBufBytes,
 		ackEvery:      1,
 		sched:         NewRateScheduler(0.10),
 		fct:           -1,
@@ -209,10 +235,14 @@ func (c *Connection) Start(at sim.Time) {
 	}
 	c.startAt = at
 	c.eng.At(at, func() {
+		if c.closed {
+			return // shut down before it ever started
+		}
 		for _, s := range c.subflows {
 			s.init()
 		}
 		c.started = true
+		c.armWatchdog()
 		c.pump()
 		for _, s := range c.subflows {
 			s.begin()
@@ -226,7 +256,7 @@ func (c *Connection) Start(at sim.Time) {
 // runs per transmission opportunity). It is re-entrancy guarded: nested
 // calls from inside a kick are no-ops.
 func (c *Connection) pump() {
-	if !c.started || c.app == nil || c.pumping {
+	if !c.started || c.closed || c.app == nil || c.pumping {
 		return
 	}
 	c.pumping = true

@@ -194,6 +194,9 @@ func (s *Subflow) sendProbe() {
 // probeDeliver runs at the receiver when a probe survives the path; it
 // immediately acknowledges.
 func (s *Subflow) probeDeliver(pkt *netem.Packet) {
+	if s.conn.closed {
+		return
+	}
 	pr := pkt.Meta.(*probeRec)
 	s.path.SendFeedback(pr, netem.SinkFunc(s.probeAck))
 }
@@ -202,7 +205,7 @@ func (s *Subflow) probeDeliver(pkt *netem.Packet) {
 // current failure episode revives the subflow.
 func (s *Subflow) probeAck(fb *netem.Packet) {
 	pr := fb.Meta.(*probeRec)
-	if s.state != SubflowFailed || pr.seq != s.probeSeq {
+	if s.conn.closed || s.state != SubflowFailed || pr.seq != s.probeSeq {
 		return
 	}
 	s.updateRTT(s.conn.eng.Now() - pr.sentAt)

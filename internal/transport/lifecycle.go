@@ -1,0 +1,202 @@
+package transport
+
+import "mpcc/internal/sim"
+
+// Connection lifecycle. A connection is open from Start until Close/Abort
+// (explicit) or a watchdog timeout (idle/handshake) shuts it down. Teardown
+// is synchronous for everything the connection owns: pending/retx/orphan
+// segments, outstanding-slot and RTO-timer packet references, receiver-side
+// delayed-ACK batches, and every per-subflow timer. References held by
+// packets still inside netem links cannot be reclaimed synchronously; the
+// closed guards on the delivery/feedback sinks release each one as it
+// drains, so the per-connection pool gauges (PoolInUse) return to zero once
+// the engine goes idle — the churn leak test asserts exactly that.
+
+// CloseReason records why a connection shut down.
+type CloseReason uint8
+
+const (
+	// CloseNone means the connection has not closed.
+	CloseNone CloseReason = iota
+	// CloseDone is a graceful close (transfer finished, Close called).
+	CloseDone
+	// CloseAborted is an explicit abort.
+	CloseAborted
+	// CloseIdle means the idle watchdog fired: no delivery progress for
+	// the configured idle timeout.
+	CloseIdle
+	// CloseHandshake means nothing was ever delivered within the
+	// handshake timeout of Start.
+	CloseHandshake
+)
+
+func (r CloseReason) String() string {
+	switch r {
+	case CloseNone:
+		return "open"
+	case CloseDone:
+		return "done"
+	case CloseAborted:
+		return "abort"
+	case CloseIdle:
+		return "idle"
+	case CloseHandshake:
+		return "handshake"
+	default:
+		return "unknown"
+	}
+}
+
+// WithIdleTimeout aborts the connection when no first-delivery progress
+// happens for d (0, the default, disables the idle watchdog).
+func WithIdleTimeout(d sim.Time) ConnOption {
+	return func(c *Connection) { c.idleTimeout = d }
+}
+
+// WithHandshakeTimeout aborts the connection if nothing at all has been
+// delivered within d of Start — the open-loop analogue of a connect
+// timeout (0, the default, disables it).
+func WithHandshakeTimeout(d sim.Time) ConnOption {
+	return func(c *Connection) { c.handshakeTimeout = d }
+}
+
+// SetOnClose installs a hook invoked exactly once, synchronously, when the
+// connection shuts down for any reason.
+func (c *Connection) SetOnClose(fn func(reason CloseReason, at sim.Time)) { c.onClose = fn }
+
+// Closed reports whether the connection has shut down.
+func (c *Connection) Closed() bool { return c.closed }
+
+// CloseCause returns why the connection closed (CloseNone while open).
+func (c *Connection) CloseCause() CloseReason { return c.closeReason }
+
+// ClosedAt returns when the connection closed (0 while open).
+func (c *Connection) ClosedAt() sim.Time { return c.closedAt }
+
+// Close shuts the connection down gracefully. Safe to call from a
+// completion callback; idempotent.
+func (c *Connection) Close() { c.shutdown(CloseDone) }
+
+// Abort shuts the connection down, recording an abnormal termination.
+func (c *Connection) Abort() { c.shutdown(CloseAborted) }
+
+func (c *Connection) shutdown(reason CloseReason) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.closeReason = reason
+	c.closedAt = c.eng.Now()
+	c.watchdog.Stop()
+	c.watchdog = sim.TimerRef{}
+	for _, s := range c.subflows {
+		s.teardown()
+	}
+	for c.orphans.len() > 0 {
+		c.releaseSeg(c.orphans.pop())
+	}
+	if c.onClose != nil {
+		c.onClose(reason, c.closedAt)
+	}
+}
+
+// teardown releases everything a subflow owns. In-flight packets (data,
+// ACK batches, duplication clones) keep their records alive until netem
+// resolves them; the closed guards on receiverDeliver/senderAck release
+// those references as they drain.
+func (s *Subflow) teardown() {
+	s.pacerTimer.Stop()
+	s.pacerTimer = sim.TimerRef{}
+	s.rackTimer.Stop()
+	s.rackTimer = sim.TimerRef{}
+	s.rxTimer.Stop()
+	s.rxTimer = sim.TimerRef{}
+	if s.probeTimer != nil {
+		s.probeTimer.Stop()
+		s.probeTimer = nil
+	}
+	s.pacerIdle = true
+	s.capBlocked = false
+	if s.rxPending != nil {
+		b := s.rxPending
+		s.rxPending = nil
+		s.recycleBatch(b) // releases each record's network reference
+	}
+	// Dropping the open MIs orphans any pending miEndEvent timer (its
+	// identity check fails on an empty queue).
+	s.openMIs = s.openMIs[:0]
+	s.miHead = 0
+	for i := s.outHead; i < len(s.outstanding); i++ {
+		rec := s.outstanding[i]
+		if rec == nil {
+			continue
+		}
+		if rec.rto.Stop() {
+			rec.rto = sim.TimerRef{}
+			s.conn.releaseRec(rec) // the cancelled RTO timer's reference
+		}
+		s.outstanding[i] = nil
+		s.conn.releaseRec(rec) // the outstanding slot's reference
+	}
+	s.outstanding = s.outstanding[:0]
+	s.outHead = 0
+	s.inflightBytes, s.inflightPkts = 0, 0
+	for s.pending.len() > 0 {
+		s.conn.releaseSeg(s.pending.pop())
+	}
+	for s.retx.len() > 0 {
+		s.conn.releaseSeg(s.retx.pop())
+	}
+}
+
+// ---- idle / handshake watchdog ----
+
+// watchdogDeadline returns the next instant the watchdog should act and
+// what a miss there means; (0, CloseNone) when nothing is being watched.
+func (c *Connection) watchdogDeadline() (sim.Time, CloseReason) {
+	if c.lastDeliveredAt == 0 {
+		if c.handshakeTimeout > 0 {
+			return c.startAt + c.handshakeTimeout, CloseHandshake
+		}
+		if c.idleTimeout > 0 {
+			return c.startAt + c.idleTimeout, CloseIdle
+		}
+		return 0, CloseNone
+	}
+	if c.idleTimeout > 0 {
+		return c.lastDeliveredAt + c.idleTimeout, CloseIdle
+	}
+	return 0, CloseNone
+}
+
+func (c *Connection) armWatchdog() {
+	at, reason := c.watchdogDeadline()
+	if reason == CloseNone {
+		return
+	}
+	c.watchdog = c.eng.ScheduleRef(at, watchdogEvent, c)
+}
+
+// watchdogEvent fires at a candidate deadline: if delivery progress moved
+// the real deadline forward in the meantime it re-arms instead of firing.
+func watchdogEvent(a any) {
+	c := a.(*Connection)
+	c.watchdog = sim.TimerRef{}
+	if c.closed {
+		return
+	}
+	at, reason := c.watchdogDeadline()
+	if reason == CloseNone {
+		return
+	}
+	if c.eng.Now() >= at {
+		c.shutdown(reason)
+		return
+	}
+	c.watchdog = c.eng.ScheduleRef(at, watchdogEvent, c)
+}
+
+// PoolInUse returns how many pooled packet records and segments the
+// connection currently holds outside its free lists. Both return to zero
+// once a closed connection's in-flight packets drain (the leak gauge).
+func (c *Connection) PoolInUse() (recs, segs int) { return c.recLive, c.segLive }

@@ -24,6 +24,7 @@ package transport
 const poolSlab = 64
 
 func (c *Connection) acquireRec() *pktRec {
+	c.recLive++
 	if n := len(c.recFree); n > 0 {
 		rec := c.recFree[n-1]
 		c.recFree[n-1] = nil
@@ -49,6 +50,7 @@ func (c *Connection) releaseRec(rec *pktRec) {
 	}
 	seg := rec.seg
 	*rec = pktRec{}
+	c.recLive--
 	c.recFree = append(c.recFree, rec)
 	c.releaseSeg(seg)
 }
@@ -74,6 +76,7 @@ func (c *Connection) acquireSeg(off int64, size int) *segment {
 		seg = &slab[0]
 	}
 	seg.off, seg.size, seg.refs = off, size, 1
+	c.segLive++
 	return seg
 }
 
@@ -90,6 +93,7 @@ func (c *Connection) releaseSeg(seg *segment) {
 		panic("transport: segment over-released")
 	}
 	*seg = segment{}
+	c.segLive--
 	c.segFree = append(c.segFree, seg)
 }
 

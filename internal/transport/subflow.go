@@ -228,7 +228,7 @@ func (s *Subflow) begin() {
 
 // kick resumes sending after new data arrives or capacity frees up.
 func (s *Subflow) kick() {
-	if !s.conn.started || (s.rc != nil && !s.running) || s.state == SubflowFailed {
+	if !s.conn.started || s.conn.closed || (s.rc != nil && !s.running) || s.state == SubflowFailed {
 		return
 	}
 	if s.wc != nil {
@@ -479,6 +479,12 @@ func (s *Subflow) transmit(seg *segment) {
 // transfers into the ACK pipeline (released after senderAck).
 func (s *Subflow) receiverDeliver(pkt *netem.Packet) {
 	rec := pkt.Meta.(*pktRec)
+	if s.conn.closed {
+		// The receiver is gone: drop the packet's Meta reference (teardown
+		// already released the rest) instead of acknowledging.
+		s.conn.releaseRec(rec)
+		return
+	}
 	s.conn.onArrival(rec.seg.off, rec.size)
 	if s.conn.ackEvery <= 1 {
 		s.path.SendFeedback(s.newAckBatch(rec), s.ackSink)
@@ -501,7 +507,7 @@ func (s *Subflow) receiverDeliver(pkt *netem.Packet) {
 func (s *Subflow) flushAcks() {
 	s.rxTimer.Stop()
 	s.rxTimer = sim.TimerRef{}
-	if s.rxPending == nil {
+	if s.rxPending == nil || s.conn.closed {
 		return
 	}
 	batch := s.rxPending
@@ -522,7 +528,16 @@ func (s *Subflow) senderAck(fb *netem.Packet) {
 	batch := fb.Meta.(*ackBatch)
 	var sawAck, sawSpurious bool
 	for _, rec := range batch.recs {
+		if s.conn.closed {
+			// A completion callback may close the connection mid-batch;
+			// the rest of the batch just returns its network references.
+			break
+		}
 		s.ackOne(rec, &sawAck, &sawSpurious)
+	}
+	if s.conn.closed {
+		s.recycleBatch(batch)
+		return
 	}
 	if sawAck {
 		s.ackPipeline()
@@ -539,6 +554,9 @@ func (s *Subflow) senderAck(fb *netem.Packet) {
 // handleAck processes a single acknowledged record through the full
 // pipeline (the pre-batching behavior, kept for white-box tests).
 func (s *Subflow) handleAck(rec *pktRec) {
+	if s.conn.closed {
+		return
+	}
 	var sawAck, sawSpurious bool
 	s.ackOne(rec, &sawAck, &sawSpurious)
 	if sawAck {

@@ -293,11 +293,18 @@ func TestJitteredLinkKeepsOrderAndDelivers(t *testing.T) {
 	}
 }
 
-func TestReceiveWindowUnlimitedByDefault(t *testing.T) {
+func TestReceiveWindowDefault(t *testing.T) {
+	// The default is the paper's 300 MB flow-control-disabling buffer, as a
+	// named constant rather than a silent unlimited: far above any send
+	// buffer the repo configures, so it never binds unless opted down.
 	tn := newTestNet(60, 1)
 	c := NewConnection(tn.eng, "norwnd")
-	if c.rwndLimit() <= 1<<60 {
-		t.Fatal("default receive window should be unlimited")
+	if got, want := c.rwndLimit(), int64(DefaultRcvBufBytes); got != want {
+		t.Fatalf("default rwnd limit = %d, want DefaultRcvBufBytes %d", got, want)
+	}
+	c2 := NewConnection(tn.eng, "unlimited", WithRcvBuf(0))
+	if c2.rwndLimit() <= 1<<60 {
+		t.Fatal("WithRcvBuf(0) should mean unlimited")
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"mpcc/internal/sim"
 	"mpcc/internal/topo"
 	"mpcc/internal/transport"
+	"mpcc/internal/workload"
 )
 
 // Core simulation types.
@@ -118,6 +119,33 @@ type (
 	// TopologyPartition groups a topology's links into independent
 	// interaction components, one engine shard each.
 	TopologyPartition = topo.Partition
+	// Server models one accept point's resource limits: a concurrent-
+	// connection cap and a shared receive-buffer byte budget admission
+	// control sheds against (see DESIGN.md "Open-loop workload and overload
+	// model").
+	Server = transport.Server
+	// AdmitResult is the outcome of a Server admission attempt.
+	AdmitResult = transport.AdmitResult
+	// CloseReason records why a Connection closed (done/aborted/idle/
+	// handshake-timeout).
+	CloseReason = transport.CloseReason
+	// PoissonArrivals generates homogeneous (optionally shape-modulated)
+	// Poisson session arrivals.
+	PoissonArrivals = workload.Poisson
+	// MMPPArrivals generates Markov-modulated Poisson arrivals (bursty,
+	// state-switched rates).
+	MMPPArrivals = workload.MMPP
+	// MMPPState is one (rate, mean dwell) state of an MMPPArrivals process.
+	MMPPState = workload.MMPPState
+	// ArrivalShape modulates an arrival process's rate over virtual time
+	// (e.g. Diurnal).
+	ArrivalShape = workload.Shape
+	// BoundedPareto is the heavy-tailed object-size distribution of the
+	// open-loop workload model.
+	BoundedPareto = workload.BoundedPareto
+	// Backoff is a capped exponential retry schedule with deterministic
+	// multiplicative jitter.
+	Backoff = workload.Backoff
 )
 
 // Time units.
@@ -145,6 +173,21 @@ const (
 const (
 	SubflowActive = transport.SubflowActive
 	SubflowFailed = transport.SubflowFailed
+)
+
+// Server admission outcomes.
+const (
+	AdmitOK      = transport.AdmitOK
+	RejectConns  = transport.RejectConns
+	RejectBudget = transport.RejectBudget
+)
+
+// Connection close reasons.
+const (
+	CloseDone      = transport.CloseDone
+	CloseAborted   = transport.CloseAborted
+	CloseIdle      = transport.CloseIdle
+	CloseHandshake = transport.CloseHandshake
 )
 
 // NewEngine returns a simulation engine seeded deterministically.
@@ -187,6 +230,36 @@ func WithRcvBuf(bytes int64) ConnOption { return transport.WithRcvBuf(bytes) }
 // WithFailThreshold sets how many consecutive RTO episodes fail a subflow;
 // n <= 0 disables the failure detector.
 func WithFailThreshold(n int) ConnOption { return transport.WithFailThreshold(n) }
+
+// WithIdleTimeout aborts a connection when no delivery progress happens for
+// d; 0 disables the watchdog.
+func WithIdleTimeout(d Time) ConnOption { return transport.WithIdleTimeout(d) }
+
+// WithHandshakeTimeout aborts a connection that never delivers a byte
+// within d of starting; 0 disables the watchdog.
+func WithHandshakeTimeout(d Time) ConnOption { return transport.WithHandshakeTimeout(d) }
+
+// NewServer returns an accept point with the given admission limits;
+// maxConns <= 0 or budgetBytes <= 0 disables that limit.
+func NewServer(name string, maxConns int, budgetBytes int64) *Server {
+	return transport.NewServer(name, maxConns, budgetBytes)
+}
+
+// NewPoissonArrivals returns a seeded Poisson arrival process at ratePerSec,
+// optionally modulated by shape (nil = constant rate).
+func NewPoissonArrivals(seed int64, ratePerSec float64, shape ArrivalShape) *PoissonArrivals {
+	return workload.NewPoisson(seed, ratePerSec, shape)
+}
+
+// NewMMPPArrivals returns a seeded Markov-modulated Poisson arrival process
+// cycling through the given states.
+func NewMMPPArrivals(seed int64, states []MMPPState, shape ArrivalShape) *MMPPArrivals {
+	return workload.NewMMPP(seed, states, shape)
+}
+
+// Diurnal returns an arrival shape oscillating sinusoidally between 1.0 and
+// trough over the given period — the classic day/night load curve.
+func Diurnal(period Time, trough float64) ArrivalShape { return workload.Diurnal(period, trough) }
 
 // WithProbeInterval sets how often a failed subflow probes for revival;
 // d <= 0 disables probing.
